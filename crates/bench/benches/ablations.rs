@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! diagonal arrangement (Fig. 3), the look-back technique (the paper's
+//! delta over 1R1W-SKSS), and scheduler robustness under concurrency.
+
+use bench::{bench_gpu, workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+const N: usize = 512;
+const W: usize = 32;
+
+fn arrangement(c: &mut Criterion) {
+    let gpu = bench_gpu();
+    let a = workload(N);
+    let input = a.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
+    let params = SatParams::paper(W);
+
+    let mut g = c.benchmark_group("ablation/arrangement");
+    g.bench_function("diagonal", |b| {
+        let alg = SkssLb::new(params);
+        b.iter(|| alg.run(&gpu, &input, &output, N));
+    });
+    g.bench_function("row_major", |b| {
+        let alg = SkssLb::new(params).with_arrangement(Arrangement::RowMajor);
+        b.iter(|| alg.run(&gpu, &input, &output, N));
+    });
+    g.finish();
+}
+
+fn lookback(c: &mut Criterion) {
+    let gpu = bench_gpu();
+    let a = workload(N);
+    let input = a.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
+    let params = SatParams::paper(W);
+
+    let mut g = c.benchmark_group("ablation/lookback");
+    g.bench_function("decoupled", |b| {
+        let alg = SkssLb::new(params);
+        b.iter(|| alg.run(&gpu, &input, &output, N));
+    });
+    g.bench_function("coupled", |b| {
+        let alg = SkssLb::new(params).with_decoupled(false);
+        b.iter(|| alg.run(&gpu, &input, &output, N));
+    });
+    g.bench_function("skss_column_pipeline", |b| {
+        let alg = Skss::new(params);
+        b.iter(|| alg.run(&gpu, &input, &output, N));
+    });
+    g.finish();
+}
+
+fn dispatch(c: &mut Criterion) {
+    // Concurrent execution under different scheduler orders: measures the
+    // real cost of spinning on soft-sync flags on this host.
+    let a = workload(N);
+    let input = a.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
+    let params = SatParams::paper(W);
+
+    let mut g = c.benchmark_group("ablation/dispatch_concurrent");
+    for (label, d) in [
+        ("in_order", DispatchOrder::InOrder),
+        ("reversed", DispatchOrder::Reversed),
+        ("random", DispatchOrder::Random(1)),
+    ] {
+        let gpu = bench_gpu().with_mode(ExecMode::Concurrent).with_dispatch(d);
+        g.bench_function(label, |b| {
+            let alg = SkssLb::new(params);
+            b.iter(|| alg.run(&gpu, &input, &output, N));
+        });
+    }
+    g.finish();
+}
+
+fn block_size(c: &mut Criterion) {
+    let gpu = bench_gpu();
+    let a = workload(N);
+    let input = a.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
+
+    let mut g = c.benchmark_group("ablation/block_size");
+    for tpb in [64usize, 256, 1024] {
+        g.bench_function(format!("tpb_{tpb}"), |b| {
+            let alg = SkssLb::new(SatParams { w: W, threads_per_block: tpb });
+            b.iter(|| alg.run(&gpu, &input, &output, N));
+        });
+    }
+    g.finish();
+}
+
+
+/// Quick Criterion config for a 1-core CI box: short warmup/measurement,
+/// fixed 10 samples, no HTML plots (report generation dominates runtime
+/// otherwise).
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+        .without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = arrangement, lookback, dispatch, block_size
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Shared workload builders for the Criterion benches.
+//!
+//! Each bench target regenerates one artifact of the paper:
+//!
+//! * `table3_sat` — wall-clock of every SAT algorithm per size and tile
+//!   width (the rows/columns of Table III; modeled milliseconds for the
+//!   same runs come from `sat-cli table3`);
+//! * `table1_counts` — the algorithms at Table I's parameter points, with
+//!   the theoretical counter values asserted during setup;
+//! * `prefix_scan` — the substrate scans (Merrill-Garland, Tokura, warp);
+//! * `ablations` — diagonal vs row-major shared memory, look-back vs
+//!   coupled waits, dispatch orders under concurrency.
+
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+/// Matrix sizes the functional benches sweep. Large sizes are covered by
+/// the synthetic mode of `sat-cli table3`; wall-clock benches stop where a
+/// single run stays in the tens of milliseconds on a laptop.
+pub const BENCH_SIZES: [usize; 3] = [256, 512, 1024];
+
+/// Tile widths of the paper's Table III.
+pub const BENCH_WIDTHS: [usize; 3] = [32, 64, 128];
+
+/// The benchmark GPU: the TITAN V preset in deterministic sequential mode.
+pub fn bench_gpu() -> Gpu {
+    Gpu::new(DeviceConfig::titan_v())
+}
+
+/// The standard bench workload: values small enough that u32 SATs cannot
+/// overflow at any bench size.
+pub fn workload(n: usize) -> Matrix<u32> {
+    Matrix::random(n, n, 0xBE7C4, 4)
+}
+
+/// Device-resident input/output pair for `n x n`.
+pub fn device_pair(a: &Matrix<u32>) -> (GlobalBuffer<u32>, GlobalBuffer<u32>) {
+    let n = a.rows();
+    (a.to_device(), GlobalBuffer::zeroed(n * n))
+}
+
+/// All Table III algorithm rows at width `w`: (label, boxed algorithm).
+pub fn roster(w: usize) -> Vec<(String, Box<dyn SatAlgorithm<u32>>)> {
+    let params = SatParams::paper(w);
+    vec![
+        ("2r2w".into(), Box::new(TwoRTwoW::new(params.threads_per_block)) as Box<dyn SatAlgorithm<u32>>),
+        ("2r2w_opt".into(), Box::new(TwoRTwoWOpt::new(params))),
+        (format!("2r1w_w{w}"), Box::new(TwoROneW::new(params))),
+        (format!("1r1w_w{w}"), Box::new(OneROneW::new(params))),
+        (format!("hybrid_w{w}"), Box::new(HybridR1W::new(params, 0.25))),
+        (format!("skss_w{w}"), Box::new(Skss::new(params))),
+        (format!("skss_lb_w{w}"), Box::new(SkssLb::new(params))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(64), workload(64));
+    }
+
+    #[test]
+    fn roster_runs() {
+        let gpu = bench_gpu();
+        let a = workload(256);
+        let expect = satcore::reference::sat(&a);
+        for (label, alg) in roster(32) {
+            let (got, _) = compute_sat(&gpu, alg.as_ref(), &a);
+            assert_eq!(got, expect, "{label}");
+        }
+    }
+}

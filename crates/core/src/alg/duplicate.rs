@@ -1,0 +1,101 @@
+//! Matrix duplication — the paper's lower bound.
+//!
+//! "Since all elements in the matrix must be read once, and those in the
+//! resulting SAT must be written, any SAT computation cannot be faster
+//! than duplication of the matrix in the global memory." Table III's
+//! `cudaMemcpy` row is this kernel; every overhead percentage is measured
+//! against it.
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{Gpu, LaunchConfig};
+use gpu_sim::metrics::RunMetrics;
+
+/// One coalesced copy kernel, one element per thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Duplicate {
+    /// Elements copied per block (= threads per block; one element each).
+    pub elems_per_block: usize,
+}
+
+impl Duplicate {
+    /// The paper's configuration: 1024-thread blocks.
+    pub fn new() -> Self {
+        Duplicate { elems_per_block: 1024 }
+    }
+
+    /// Copy `input` to `output` and return the launch metrics. Exposed
+    /// directly (not only through `SatAlgorithm`) because it is the
+    /// baseline, not a SAT algorithm.
+    pub fn copy<T: DeviceElem>(
+        &self,
+        gpu: &Gpu,
+        input: &GlobalBuffer<T>,
+        output: &GlobalBuffer<T>,
+    ) -> RunMetrics {
+        let n = input.len();
+        assert_eq!(output.len(), n);
+        let epb = self.elems_per_block.min(gpu.config().max_threads_per_block);
+        let blocks = n.div_ceil(epb).max(1);
+        let mut run = RunMetrics::default();
+        run.push(gpu.launch(LaunchConfig::new("memcpy", blocks, epb), |ctx| {
+            let lo = ctx.block_idx() * epb;
+            let hi = ((ctx.block_idx() + 1) * epb).min(n);
+            if lo >= hi {
+                return;
+            }
+            let mut tmp = vec![T::zero(); hi - lo];
+            input.load_row(ctx, lo, &mut tmp);
+            output.store_row(ctx, lo, &tmp);
+        }));
+        run
+    }
+}
+
+impl Default for Duplicate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::prelude::*;
+
+    #[test]
+    fn copies_exactly() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let data: Vec<u32> = (0..5000).collect();
+        let input = GlobalBuffer::from_slice(&data);
+        let output = GlobalBuffer::<u32>::zeroed(5000);
+        let run = Duplicate::new().copy(&gpu, &input, &output);
+        assert_eq!(output.to_vec(), data);
+        assert_eq!(run.kernel_calls(), 1);
+    }
+
+    #[test]
+    fn traffic_is_exactly_one_read_one_write() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 4096usize;
+        let input = GlobalBuffer::<f32>::zeroed(n);
+        let output = GlobalBuffer::<f32>::zeroed(n);
+        let run = Duplicate::new().copy(&gpu, &input, &output);
+        assert_eq!(run.total_reads(), n as u64);
+        assert_eq!(run.total_writes(), n as u64);
+        assert_eq!(run.total_bytes(), 2 * n as u64 * 4);
+        let s = run.total_stats();
+        assert_eq!(s.strided_reads, 0);
+        assert_eq!(s.strided_writes, 0);
+    }
+
+    #[test]
+    fn ragged_tail_handled() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let data: Vec<u64> = (0..100).collect();
+        let input = GlobalBuffer::from_slice(&data);
+        let output = GlobalBuffer::<u64>::zeroed(100);
+        Duplicate { elems_per_block: 64 }.copy(&gpu, &input, &output);
+        assert_eq!(output.to_vec(), data);
+    }
+}

@@ -1,0 +1,302 @@
+//! The (1+r)R1W hybrid of Kasagi et al. (paper Section III-B, Fig. 8).
+//!
+//! 1R1W's early and late diagonal waves hold very few blocks, so the
+//! hybrid carves the tile grid into three bands by anti-diagonal index
+//! `d = I + J`:
+//!
+//! * **A** (`d < sqrt(r) * n/W`, the top-left triangle) — processed with
+//!   2R1W-style kernels (read twice, write once);
+//! * **B** (the middle band) — processed with 1R1W diagonal waves;
+//! * **C** (the bottom-right triangle, mirror of A) — 2R1W-style again,
+//!   seeded with the `GRS`/`GCS`/`GS` values B left in global memory.
+//!
+//! Tiles in A and C are read twice, so total reads are
+//! `(1+r) n^2 + O(n^2/W)`; kernel calls drop to about
+//! `2 (1 - sqrt(r)) n/W + 5`. `r` trades traffic for launch overhead and
+//! parallelism; the paper picks it empirically (Fig. 8 shows r = 0.25).
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{BlockCtx, Gpu, LaunchConfig};
+use gpu_sim::metrics::RunMetrics;
+use gpu_sim::shared::Arrangement;
+
+use super::one_r_one_w::process_wave_tile;
+use super::{SatAlgorithm, SatParams};
+use crate::tile::{load_tile, load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux};
+
+/// The hybrid 2R1W / 1R1W algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridR1W {
+    /// Tile width and block size.
+    pub params: SatParams,
+    /// The `r` parameter in `(0, 1)`: fraction of tiles handled by the
+    /// 2R1W phases.
+    pub r: f64,
+}
+
+impl HybridR1W {
+    /// With the given tile parameters and `r`.
+    pub fn new(params: SatParams, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "r must be in [0, 1]");
+        HybridR1W { params, r }
+    }
+
+    /// The number of leading (and trailing) anti-diagonals handled by the
+    /// 2R1W phases: `floor(sqrt(r) * n/W)`, clamped so A and C stay
+    /// disjoint.
+    pub fn split_diagonals(&self, t: usize) -> usize {
+        let da = (self.r.sqrt() * t as f64).floor() as usize;
+        da.min(t.saturating_sub(1))
+    }
+}
+
+/// Local sums of one tile, written to the aux arrays (the shared Kernel-1
+/// body of the A and C phases).
+#[allow(clippy::too_many_arguments)]
+fn local_sums_tile<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    grid: TileGrid,
+    ti: usize,
+    tj: usize,
+    lrs: &VecAux<T>,
+    lcs: &VecAux<T>,
+    ls: &ScalarAux<T>,
+) {
+    let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+    let lrs_v = tile.row_sums(ctx);
+    ctx.syncthreads();
+    let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
+    lrs.write_vec(ctx, ti, tj, &lrs_v);
+    lcs.write_vec(ctx, ti, tj, &lcs_v);
+    ls.write(ctx, ti, tj, total);
+}
+
+/// The `(I, J)` tiles of tile-row `ti` whose diagonal lies in `diags`.
+fn row_range(grid: TileGrid, ti: usize, diags: &std::ops::Range<usize>) -> std::ops::Range<usize> {
+    let lo = diags.start.saturating_sub(ti).min(grid.t);
+    let hi = (diags.end.saturating_sub(ti)).min(grid.t);
+    lo..hi.max(lo)
+}
+
+/// The shared Kernel-2 body of the A and C phases, parallelized like
+/// 2R1W's Kernel 2: blocks `0..t` scan tile-rows (`GRS`), blocks `t..2t`
+/// scan tile-columns (`GCS`), block `2t` runs the 2-D inclusion-exclusion
+/// over `LS`/`GS` in diagonal order. For the C phase, the boundary values
+/// just outside the band were written by the B waves.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_globals<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    grid: TileGrid,
+    diags: std::ops::Range<usize>,
+    lrs: &VecAux<T>,
+    lcs: &VecAux<T>,
+    grs: &VecAux<T>,
+    gcs: &VecAux<T>,
+    ls: &ScalarAux<T>,
+    gs: &ScalarAux<T>,
+) {
+    let t = grid.t;
+    let b = ctx.block_idx();
+    if b < t {
+        let ti = b;
+        let js = row_range(grid, ti, &diags);
+        let mut acc = if js.start > 0 {
+            grs.read_vec(ctx, ti, js.start - 1)
+        } else {
+            vec![T::zero(); grid.w]
+        };
+        for tj in js {
+            for (a, x) in acc.iter_mut().zip(lrs.read_vec(ctx, ti, tj)) {
+                *a = a.add(x);
+            }
+            grs.write_vec(ctx, ti, tj, &acc);
+        }
+    } else if b < 2 * t {
+        let tj = b - t;
+        let is = row_range(grid, tj, &diags);
+        let mut acc = if is.start > 0 {
+            gcs.read_vec(ctx, is.start - 1, tj)
+        } else {
+            vec![T::zero(); grid.w]
+        };
+        for ti in is {
+            for (a, x) in acc.iter_mut().zip(lcs.read_vec(ctx, ti, tj)) {
+                *a = a.add(x);
+            }
+            gcs.write_vec(ctx, ti, tj, &acc);
+        }
+    } else {
+        // GS(I,J) = LS(I,J) + GS(I-1,J) + GS(I,J-1) - GS(I-1,J-1); every
+        // neighbour is either out of the grid (zero), on an earlier
+        // diagonal of this band, or already in the aux array.
+        for d in diags {
+            for (ti, tj) in grid.diagonal_tiles(d) {
+                let v = ls.read(ctx, ti, tj);
+                let up = if ti > 0 { gs.read(ctx, ti - 1, tj) } else { T::zero() };
+                let left = if tj > 0 { gs.read(ctx, ti, tj - 1) } else { T::zero() };
+                let diag = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
+                gs.write(ctx, ti, tj, v.add(up).add(left).sub(diag));
+            }
+        }
+    }
+}
+
+/// GSAT of one tile from the carried borders (the shared Kernel-3 body).
+#[allow(clippy::too_many_arguments)]
+fn gsat_tile<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    grid: TileGrid,
+    ti: usize,
+    tj: usize,
+    grs: &VecAux<T>,
+    gcs: &VecAux<T>,
+    gs: &ScalarAux<T>,
+) {
+    let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+    let left = if tj > 0 { Some(grs.read_vec(ctx, ti, tj - 1)) } else { None };
+    let top = if ti > 0 { Some(gcs.read_vec(ctx, ti - 1, tj)) } else { None };
+    let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
+    tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
+    store_tile(ctx, output, grid, ti, tj, &tile);
+}
+
+impl<T: DeviceElem> SatAlgorithm<T> for HybridR1W {
+    fn name(&self) -> String {
+        format!("hybrid_r{:.2}_w{}", self.r, self.params.w)
+    }
+
+    fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics {
+        let grid = TileGrid::new(n, self.params.w);
+        let t = grid.t;
+        let tpb = self.params.threads_per_block.min(gpu.config().max_threads_per_block);
+        let da = self.split_diagonals(t);
+        let last = grid.diagonals(); // 2t - 1 diagonals, indices 0..last
+
+        let lrs = VecAux::<T>::new(grid);
+        let lcs = VecAux::<T>::new(grid);
+        let grs = VecAux::<T>::new(grid);
+        let gcs = VecAux::<T>::new(grid);
+        let ls = ScalarAux::<T>::new(grid);
+        let gs = ScalarAux::<T>::new(grid);
+        let mut run = RunMetrics::default();
+
+        let band_tiles = |lo: usize, hi: usize| -> Vec<(usize, usize)> {
+            (lo..hi).flat_map(|d| grid.diagonal_tiles(d)).collect()
+        };
+
+        // ---- Phase A: 2R1W over diagonals [0, da). ----
+        if da > 0 {
+            let a_tiles = band_tiles(0, da);
+            run.push(gpu.launch(LaunchConfig::new("hybrid_a1", a_tiles.len(), tpb), |ctx| {
+                let (ti, tj) = a_tiles[ctx.block_idx()];
+                local_sums_tile(ctx, input, grid, ti, tj, &lrs, &lcs, &ls);
+            }));
+            run.push(gpu.launch(LaunchConfig::new("hybrid_a2", 2 * t + 1, grid.w.min(tpb)), |ctx| {
+                accumulate_globals(ctx, grid, 0..da, &lrs, &lcs, &grs, &gcs, &ls, &gs);
+            }));
+            run.push(gpu.launch(LaunchConfig::new("hybrid_a3", a_tiles.len(), tpb), |ctx| {
+                let (ti, tj) = a_tiles[ctx.block_idx()];
+                gsat_tile(ctx, input, output, grid, ti, tj, &grs, &gcs, &gs);
+            }));
+        }
+
+        // ---- Phase B: 1R1W waves over diagonals [da, last - da). ----
+        for d in da..last - da {
+            let tiles = grid.diagonal_tiles(d);
+            let label = format!("hybrid_b{d}");
+            run.push(gpu.launch(LaunchConfig::new(label, tiles.len(), tpb), |ctx| {
+                let (ti, tj) = tiles[ctx.block_idx()];
+                process_wave_tile(ctx, input, output, grid, ti, tj, &grs, &gcs, &gs);
+            }));
+        }
+
+        // ---- Phase C: 2R1W over diagonals [last - da, last). ----
+        if da > 0 {
+            let c_tiles = band_tiles(last - da, last);
+            run.push(gpu.launch(LaunchConfig::new("hybrid_c1", c_tiles.len(), tpb), |ctx| {
+                let (ti, tj) = c_tiles[ctx.block_idx()];
+                local_sums_tile(ctx, input, grid, ti, tj, &lrs, &lcs, &ls);
+            }));
+            run.push(gpu.launch(LaunchConfig::new("hybrid_c2", 2 * t + 1, grid.w.min(tpb)), |ctx| {
+                accumulate_globals(ctx, grid, last - da..last, &lrs, &lcs, &grs, &gcs, &ls, &gs);
+            }));
+            run.push(gpu.launch(LaunchConfig::new("hybrid_c3", c_tiles.len(), tpb), |ctx| {
+                let (ti, tj) = c_tiles[ctx.block_idx()];
+                gsat_tile(ctx, input, output, grid, ti, tj, &grs, &gcs, &gs);
+            }));
+        }
+
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::compute_sat;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use gpu_sim::prelude::*;
+
+    fn alg(w: usize, r: f64) -> HybridR1W {
+        HybridR1W::new(SatParams { w, threads_per_block: (w * w).min(256) }, r)
+    }
+
+    #[test]
+    fn matches_reference_various_r() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        for r in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            for (n, w) in [(8usize, 4usize), (16, 4), (32, 4), (32, 8)] {
+                let a = Matrix::<u64>::random(n, n, 31, 10);
+                let (got, _) = compute_sat(&gpu, &alg(w, r), &a);
+                assert_eq!(got, reference::sat(&a), "n={n} w={w} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_adversarial() {
+        for d in [DispatchOrder::Reversed, DispatchOrder::Random(33)] {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent).with_dispatch(d);
+            let a = Matrix::<u64>::random(32, 32, 34, 10);
+            let (got, _) = compute_sat(&gpu, &alg(8, 0.25), &a);
+            assert_eq!(got, reference::sat(&a));
+        }
+    }
+
+    #[test]
+    fn r_zero_degenerates_to_1r1w() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let (n, w) = (32usize, 4usize);
+        let a = Matrix::<u32>::random(n, n, 35, 10);
+        let (_, run) = compute_sat(&gpu, &alg(w, 0.0), &a);
+        assert_eq!(run.kernel_calls(), 2 * (n / w) - 1);
+        let n2 = (n * n) as u64;
+        assert!(run.total_reads() <= n2 + n2, "no doubled reads when r = 0");
+    }
+
+    #[test]
+    fn reads_scale_with_r() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let (n, w) = (64usize, 4usize);
+        let a = Matrix::<u32>::random(n, n, 36, 10);
+        let (_, run_low) = compute_sat(&gpu, &alg(w, 0.05), &a);
+        let (_, run_high) = compute_sat(&gpu, &alg(w, 0.8), &a);
+        assert!(run_high.total_reads() > run_low.total_reads());
+        // Kernel calls shrink as r grows (the B band narrows).
+        assert!(run_high.kernel_calls() < run_low.kernel_calls());
+    }
+
+    #[test]
+    fn split_is_clamped_and_symmetric() {
+        let h = alg(4, 1.0);
+        assert_eq!(h.split_diagonals(8), 7, "A and C stay disjoint");
+        assert_eq!(alg(4, 0.25).split_diagonals(8), 4);
+        assert_eq!(alg(4, 0.0).split_diagonals(8), 0);
+        assert_eq!(alg(4, 0.5).split_diagonals(1), 0, "single tile is pure 1R1W");
+    }
+}

@@ -1,0 +1,162 @@
+//! The seven SAT algorithms of the paper's Table I, behind one trait.
+//!
+//! | module | paper name | kernels | parallelism | traffic |
+//! |--------|-----------|---------|-------------|---------|
+//! | [`duplicate`] | `cudaMemcpy` baseline | 1 | high | `n^2` R + `n^2` W |
+//! | [`two_r_two_w`] | 2R2W | 2 | low | `2n^2` R + `2n^2` W, row pass strided |
+//! | [`two_r_two_w_opt`] | 2R2W-optimal \[10\], \[12\] | 2 | high | `2n^2` R + `2n^2` W, coalesced |
+//! | [`two_r_one_w`] | 2R1W \[13\] | 3 | high | `2n^2` R + `n^2` W |
+//! | [`one_r_one_w`] | 1R1W \[14\] | `2n/W - 1` | medium | `n^2` R + `n^2` W |
+//! | [`hybrid`] | (1+r)R1W \[14\] | `~2(1-sqrt r)n/W + 5` | medium | `(1+r)n^2` R + `n^2` W |
+//! | [`skss`] | 1R1W-SKSS \[15\] | 1 | medium | `n^2` R + `n^2` W |
+//! | [`skss_lb`] | **1R1W-SKSS-LB (this paper)** | 1 | high | `n^2` R + `n^2` W |
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::Gpu;
+use gpu_sim::metrics::RunMetrics;
+
+use crate::matrix::Matrix;
+
+pub mod duplicate;
+pub mod hybrid;
+pub mod one_r_one_w;
+pub mod skss;
+pub mod skss_lb;
+pub mod two_r_one_w;
+pub mod two_r_two_w;
+pub mod two_r_two_w_opt;
+
+/// Shape parameters of a tile-based SAT algorithm: the tile width `W` and
+/// the block size `W^2 / m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatParams {
+    /// Tile width `W` (the paper evaluates 32, 64, 128).
+    pub w: usize,
+    /// Threads per block. The paper uses 1024-thread blocks "to maximize
+    /// parallelism", i.e. `m = W^2 / 1024`.
+    pub threads_per_block: usize,
+}
+
+impl SatParams {
+    /// The paper's configuration for tile width `w`: 1024-thread blocks
+    /// (or `w^2` threads when the tile is smaller than a full block).
+    pub fn paper(w: usize) -> Self {
+        SatParams { w, threads_per_block: (w * w).min(1024) }
+    }
+
+    /// The `m` parameter of Table I (`threads per block = W^2 / m`).
+    pub fn m(&self) -> usize {
+        (self.w * self.w) / self.threads_per_block
+    }
+}
+
+/// A parallel SAT algorithm running on the virtual GPU.
+///
+/// The contract mirrors the paper's problem statement: `input` is an
+/// `n x n` matrix resident in global memory, and the algorithm must leave
+/// its SAT in `output` (also global memory). `RunMetrics` records every
+/// kernel launch so Table I and Table III can be regenerated from the same
+/// execution.
+pub trait SatAlgorithm<T: DeviceElem>: Sync {
+    /// Short name used in reports (matching the paper's row labels).
+    fn name(&self) -> String;
+
+    /// Compute the SAT of the `n x n` matrix in `input` into `output`.
+    fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics;
+}
+
+/// Convenience wrapper: upload a host matrix, run the algorithm, download
+/// the SAT.
+pub fn compute_sat<T: DeviceElem>(
+    gpu: &Gpu,
+    alg: &dyn SatAlgorithm<T>,
+    a: &Matrix<T>,
+) -> (Matrix<T>, RunMetrics) {
+    assert_eq!(a.rows(), a.cols(), "SAT algorithms operate on square matrices");
+    let n = a.rows();
+    let input = a.to_device();
+    let output = GlobalBuffer::zeroed(n * n);
+    let metrics = alg.run(gpu, &input, &output, n);
+    (Matrix::from_device(&output, n, n), metrics)
+}
+
+/// [`compute_sat`] for matrices the tile algorithms cannot take directly:
+/// rectangular shapes or sides not divisible by `W`. Zero-pads up to the
+/// next tileable square, runs the algorithm, and crops. Zero padding on
+/// the bottom/right does not change any SAT value inside the original
+/// region, so the crop is exact; the cost is the padded area's traffic
+/// (at most one extra tile ring).
+pub fn compute_sat_padded<T: DeviceElem>(
+    gpu: &Gpu,
+    alg: &dyn SatAlgorithm<T>,
+    a: &Matrix<T>,
+    w: usize,
+) -> (Matrix<T>, RunMetrics) {
+    let side = a.rows().max(a.cols()).max(1);
+    let padded = side.div_ceil(w) * w;
+    if a.rows() == padded && a.cols() == padded {
+        return compute_sat(gpu, alg, a);
+    }
+    let big = Matrix::from_fn(padded, padded, |i, j| {
+        if i < a.rows() && j < a.cols() {
+            a.get(i, j)
+        } else {
+            T::zero()
+        }
+    });
+    let (sat, metrics) = compute_sat(gpu, alg, &big);
+    let cropped = Matrix::from_fn(a.rows(), a.cols(), |i, j| sat.get(i, j));
+    (cropped, metrics)
+}
+
+/// All seven SAT algorithms (excluding the duplication baseline) with the
+/// given tile parameters — the rows of Table III.
+pub fn all_algorithms<T: DeviceElem>(params: SatParams) -> Vec<Box<dyn SatAlgorithm<T>>> {
+    vec![
+        Box::new(two_r_two_w::TwoRTwoW::new(params.threads_per_block)),
+        Box::new(two_r_two_w_opt::TwoRTwoWOpt::new(params)),
+        Box::new(two_r_one_w::TwoROneW::new(params)),
+        Box::new(one_r_one_w::OneROneW::new(params)),
+        Box::new(hybrid::HybridR1W::new(params, 0.25)),
+        Box::new(skss::Skss::new(params)),
+        Box::new(skss_lb::SkssLb::new(params)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_table() {
+        // W = 32 -> m = 1; W = 64 -> m = 4; W = 128 -> m = 16 (1024-thread
+        // blocks throughout, per Section V).
+        assert_eq!(SatParams::paper(32), SatParams { w: 32, threads_per_block: 1024 });
+        assert_eq!(SatParams::paper(32).m(), 1);
+        assert_eq!(SatParams::paper(64).m(), 4);
+        assert_eq!(SatParams::paper(128).m(), 16);
+        // Tiny tiles use whole-tile blocks.
+        assert_eq!(SatParams::paper(4).threads_per_block, 16);
+    }
+
+    #[test]
+    fn padded_sat_matches_reference_on_awkward_shapes() {
+        use gpu_sim::prelude::*;
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let alg = crate::alg::skss_lb::SkssLb::new(SatParams { w: 8, threads_per_block: 64 });
+        for (r, c) in [(10usize, 10usize), (7, 23), (30, 5), (8, 8), (17, 17)] {
+            let a = Matrix::<u64>::random(r, c, (r + c) as u64, 20);
+            let (got, _) = compute_sat_padded(&gpu, &alg, &a, 8);
+            assert_eq!(got, crate::reference::sat(&a), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn registry_has_all_seven() {
+        let algs = all_algorithms::<u64>(SatParams::paper(4));
+        assert_eq!(algs.len(), 7);
+        let names: Vec<String> = algs.iter().map(|a| a.name()).collect();
+        assert!(names.iter().any(|n| n.contains("skss_lb")), "{names:?}");
+    }
+}

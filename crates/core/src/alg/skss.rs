@@ -1,0 +1,175 @@
+//! The 1R1W-SKSS algorithm of Funasaka et al. (paper Section III-C,
+//! reference \[15\]) — single kernel soft synchronization, one block per
+//! tile *column*.
+//!
+//! A global counter assigns each block a column `J` via `atomicAdd`; the
+//! block walks its column top to bottom. For each tile it must wait (spin
+//! on the flag `R[I][J-1]`) until the block of column `J-1` has published
+//! `GRS(I, J-1)`; the carried top row (`GCP(I-1,J)`, the bottom row of the
+//! GSAT above) stays in the block's own shared memory, costing no global
+//! traffic. One kernel call and `n^2` reads/writes — but only `n/W` blocks,
+//! "so parallelism is not high enough": the gap the paper's look-back
+//! variant closes.
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{Gpu, LaunchConfig};
+use gpu_sim::metrics::{CriticalPath, RunMetrics};
+use gpu_sim::shared::Arrangement;
+use gpu_sim::sync::{DeviceCounter, StatusBoard};
+
+use super::{SatAlgorithm, SatParams};
+use crate::tile::{load_tile, store_tile, TileGrid, VecAux};
+
+/// Column-pipelined single-kernel SAT.
+#[derive(Debug, Clone, Copy)]
+pub struct Skss {
+    /// Tile width and block size.
+    pub params: SatParams,
+}
+
+impl Skss {
+    /// With the given tile/block parameters.
+    pub fn new(params: SatParams) -> Self {
+        Skss { params }
+    }
+}
+
+impl<T: DeviceElem> SatAlgorithm<T> for Skss {
+    fn name(&self) -> String {
+        format!("skss_w{}", self.params.w)
+    }
+
+    fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics {
+        let grid = TileGrid::new(n, self.params.w);
+        let t = grid.t;
+        let w = grid.w;
+        let tpb = self.params.threads_per_block.min(gpu.config().max_threads_per_block);
+
+        let counter = DeviceCounter::new();
+        // R[I][J] = 1 once GRS(I,J) is in global memory.
+        let r_flags = StatusBoard::new(grid.tiles());
+        let grs = VecAux::<T>::new(grid);
+
+        // Coupled pipeline: column J's first tile waits for GRS(0, J-1),
+        // so the pipeline fills one full tile service per column — n/W
+        // hops, each carrying a tile of traffic, paid before the device
+        // reaches steady state.
+        let cp = CriticalPath {
+            hops: t as u64,
+            bytes_per_hop: 2 * (w * w) as u64 * T::BYTES,
+        };
+        let lc = LaunchConfig::new("skss", t, tpb).with_critical_path(cp);
+
+        let mut run = RunMetrics::default();
+        run.push(gpu.launch(lc, |ctx| {
+            loop {
+                // Virtual column assignment by atomicAdd; a block takes
+                // another column when it finishes (and exits past n/W).
+                let tj = counter.next(ctx) as usize;
+                if tj >= t {
+                    return;
+                }
+                // GCP(I-1, J): bottom row of the GSAT above, carried in
+                // shared memory/registers — no global access.
+                let mut carry_top = vec![T::zero(); w];
+                for ti in 0..t {
+                    let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+
+                    // Wait for GRS(I, J-1), then fold it into the leftmost
+                    // column before the row-wise scan.
+                    if tj > 0 {
+                        r_flags.wait_at_least(ctx, grid.tile_index(ti, tj - 1), 1);
+                        let left = grs.read_vec(ctx, ti, tj - 1);
+                        tile.add_to_col(ctx, 0, &left);
+                    }
+                    ctx.syncthreads();
+                    tile.scan_rows(ctx);
+
+                    // The rightmost column now is GRS(I, J): publish it.
+                    let mut grs_cur = vec![T::zero(); w];
+                    tile.copy_col_into(ctx, w - 1, &mut grs_cur);
+                    grs.write_vec(ctx, ti, tj, &grs_cur);
+                    r_flags.publish(ctx, grid.tile_index(ti, tj), 1);
+
+                    // Fold the carried top row and finish the column scan:
+                    // the tile is GSAT(I, J).
+                    tile.add_to_row(ctx, 0, &carry_top);
+                    ctx.syncthreads();
+                    tile.scan_cols(ctx);
+                    ctx.syncthreads();
+                    store_tile(ctx, output, grid, ti, tj, &tile);
+                    tile.copy_row_into(ctx, w - 1, &mut carry_top);
+                }
+            }
+        }));
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::compute_sat;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use gpu_sim::prelude::*;
+
+    fn alg(w: usize) -> Skss {
+        Skss::new(SatParams { w, threads_per_block: (w * w).min(256) })
+    }
+
+    #[test]
+    fn matches_reference_sequential() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        for (n, w) in [(4usize, 4usize), (8, 4), (16, 4), (16, 8), (32, 8)] {
+            let a = Matrix::<u64>::random(n, n, 41, 10);
+            let (got, _) = compute_sat(&gpu, &alg(w), &a);
+            assert_eq!(got, reference::sat(&a), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_concurrent_all_dispatch_orders() {
+        for d in [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(43)] {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent).with_dispatch(d);
+            let a = Matrix::<u64>::random(32, 32, 44, 10);
+            let (got, _) = compute_sat(&gpu, &alg(4), &a);
+            assert_eq!(got, reference::sat(&a), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn table1_row_skss() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let (n, w) = (64usize, 8usize);
+        let a = Matrix::<u32>::random(n, n, 45, 10);
+        let (_, run) = compute_sat(&gpu, &alg(w), &a);
+        assert_eq!(run.kernel_calls(), 1, "single kernel");
+        let n2 = (n * n) as u64;
+        let aux = n2 / w as u64;
+        assert!(run.total_reads() >= n2 && run.total_reads() <= n2 + 2 * aux);
+        assert!(run.total_writes() >= n2 && run.total_writes() <= n2 + 2 * aux);
+        // Medium parallelism: n/W blocks only.
+        assert_eq!(run.kernels[0].blocks, n / w);
+    }
+
+    #[test]
+    fn publishes_correct_grs() {
+        // The flags/aux protocol must carry exactly GRS between columns:
+        // checked indirectly by correctness, and directly here via the
+        // final column's GRS = full-row sums.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 16usize;
+        let a = Matrix::<u64>::random(n, n, 46, 10);
+        let (sat, _) = compute_sat(&gpu, &alg(4), &a);
+        for i in 0..n {
+            let mut row_sum = 0u64;
+            for j in 0..n {
+                row_sum += a.get(i, j);
+            }
+            let above = if i > 0 { sat.get(i - 1, n - 1) } else { 0 };
+            assert_eq!(sat.get(i, n - 1) - above, row_sum);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The 2R1W algorithm of Nehab et al. (paper Section III-A, reference
+//! \[13\]) — three kernels, tiles cached in shared memory.
+//!
+//! * **Kernel 1** reads every tile once and writes only its local sums
+//!   (`LRS`, `LCS`, `LS`) — `n^2` reads, `O(n^2/W)` writes.
+//! * **Kernel 2** turns local sums into global ones: per tile-row prefix
+//!   sums of `LRS` into `GRS`, per tile-column prefix sums of `LCS` into
+//!   `GCS`, and a 2-D prefix sum of the `LS` grid into `GS`. `O(n^2/W)`
+//!   traffic.
+//! * **Kernel 3** reads every tile again, folds in the carried borders,
+//!   computes the tile SAT in shared memory, and writes `GSAT` — `n^2`
+//!   reads, `n^2` writes.
+//!
+//! Total: `2n^2 + O(n^2/W)` reads, `n^2 + O(n^2/W)` writes, so the
+//! overhead over duplication cannot go below ~50% (Section V).
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{Gpu, LaunchConfig};
+use gpu_sim::metrics::RunMetrics;
+use gpu_sim::shared::Arrangement;
+
+use super::{SatAlgorithm, SatParams};
+use crate::tile::{load_tile, load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux};
+
+/// Three-kernel tile-based SAT.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoROneW {
+    /// Tile width and block size.
+    pub params: SatParams,
+}
+
+impl TwoROneW {
+    /// With the given tile/block parameters.
+    pub fn new(params: SatParams) -> Self {
+        TwoROneW { params }
+    }
+}
+
+impl<T: DeviceElem> SatAlgorithm<T> for TwoROneW {
+    fn name(&self) -> String {
+        format!("2r1w_w{}", self.params.w)
+    }
+
+    fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics {
+        let grid = TileGrid::new(n, self.params.w);
+        let t = grid.t;
+        let tpb = self.params.threads_per_block.min(gpu.config().max_threads_per_block);
+        let lrs = VecAux::<T>::new(grid);
+        let lcs = VecAux::<T>::new(grid);
+        let grs = VecAux::<T>::new(grid);
+        let gcs = VecAux::<T>::new(grid);
+        let ls = ScalarAux::<T>::new(grid);
+        let gs = ScalarAux::<T>::new(grid);
+        let mut run = RunMetrics::default();
+
+        // Kernel 1: local sums of every tile.
+        run.push(gpu.launch(LaunchConfig::new("2r1w_k1", grid.tiles(), tpb), |ctx| {
+            let (ti, tj) = (ctx.block_idx() / t, ctx.block_idx() % t);
+            let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+            let lrs_v = tile.row_sums(ctx);
+            ctx.syncthreads();
+            let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
+            lrs.write_vec(ctx, ti, tj, &lrs_v);
+            lcs.write_vec(ctx, ti, tj, &lcs_v);
+            ls.write(ctx, ti, tj, total);
+        }));
+
+        // Kernel 2: global sums. Blocks 0..t scan tile-rows (GRS), blocks
+        // t..2t scan tile-columns (GCS), block 2t computes the SAT of the
+        // LS grid (GS). ~2n threads, O(n^2/W) traffic — matching the
+        // paper's "n threads per array" structure.
+        run.push(gpu.launch(LaunchConfig::new("2r1w_k2", 2 * t + 1, grid.w.min(tpb)), |ctx| {
+            let b = ctx.block_idx();
+            if b < t {
+                let ti = b;
+                let mut acc = vec![T::zero(); grid.w];
+                for tj in 0..t {
+                    let v = lrs.read_vec(ctx, ti, tj);
+                    for (a, x) in acc.iter_mut().zip(v) {
+                        *a = a.add(x);
+                    }
+                    grs.write_vec(ctx, ti, tj, &acc);
+                }
+            } else if b < 2 * t {
+                let tj = b - t;
+                let mut acc = vec![T::zero(); grid.w];
+                for ti in 0..t {
+                    let v = lcs.read_vec(ctx, ti, tj);
+                    for (a, x) in acc.iter_mut().zip(v) {
+                        *a = a.add(x);
+                    }
+                    gcs.write_vec(ctx, ti, tj, &acc);
+                }
+            } else {
+                // SAT of the t x t LS grid, computed by one block ("we can
+                // simply use 2R2W algorithm for computing the GS").
+                let mut acc = vec![T::zero(); t * t];
+                for ti in 0..t {
+                    for tj in 0..t {
+                        let v = ls.read(ctx, ti, tj);
+                        let up = if ti > 0 { acc[(ti - 1) * t + tj] } else { T::zero() };
+                        let left = if tj > 0 { acc[ti * t + tj - 1] } else { T::zero() };
+                        let diag = if ti > 0 && tj > 0 { acc[(ti - 1) * t + tj - 1] } else { T::zero() };
+                        acc[ti * t + tj] = v.add(up).add(left).sub(diag);
+                        gs.write(ctx, ti, tj, acc[ti * t + tj]);
+                    }
+                }
+            }
+        }));
+
+        // Kernel 3: GSAT of every tile from the carried borders.
+        run.push(gpu.launch(LaunchConfig::new("2r1w_k3", grid.tiles(), tpb), |ctx| {
+            let (ti, tj) = (ctx.block_idx() / t, ctx.block_idx() % t);
+            let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+            let left = if tj > 0 { Some(grs.read_vec(ctx, ti, tj - 1)) } else { None };
+            let top = if ti > 0 { Some(gcs.read_vec(ctx, ti - 1, tj)) } else { None };
+            let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
+            tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
+            store_tile(ctx, output, grid, ti, tj, &tile);
+        }));
+
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::compute_sat;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use crate::tile::TileSums;
+    use gpu_sim::prelude::*;
+
+    fn alg(w: usize) -> TwoROneW {
+        TwoROneW::new(SatParams { w, threads_per_block: (w * w).min(256) })
+    }
+
+    #[test]
+    fn matches_reference() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        for (n, w) in [(4usize, 4usize), (8, 4), (16, 4), (16, 8), (32, 8), (64, 16)] {
+            let a = Matrix::<u64>::random(n, n, 11, 10);
+            let (got, _) = compute_sat(&gpu, &alg(w), &a);
+            assert_eq!(got, reference::sat(&a), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn concurrent_adversarial() {
+        for d in [DispatchOrder::Reversed, DispatchOrder::Random(13)] {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent).with_dispatch(d);
+            let a = Matrix::<u64>::random(32, 32, 14, 10);
+            let (got, _) = compute_sat(&gpu, &alg(8), &a);
+            assert_eq!(got, reference::sat(&a));
+        }
+    }
+
+    #[test]
+    fn single_tile_matrix() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let a = Matrix::<u64>::random(8, 8, 15, 10);
+        let (got, _) = compute_sat(&gpu, &alg(8), &a);
+        assert_eq!(got, reference::sat(&a));
+    }
+
+    #[test]
+    fn table1_row_2r1w() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 64usize;
+        let w = 8usize;
+        let a = Matrix::<u32>::random(n, n, 16, 10);
+        let (_, run) = compute_sat(&gpu, &alg(w), &a);
+        let n2 = (n * n) as u64;
+        let aux = n2 / w as u64; // O(n^2 / W)
+        assert_eq!(run.kernel_calls(), 3);
+        assert!(run.total_reads() >= 2 * n2 && run.total_reads() <= 2 * n2 + 8 * aux);
+        assert!(run.total_writes() >= n2 && run.total_writes() <= n2 + 8 * aux);
+        let s = run.total_stats();
+        assert_eq!(s.strided_reads + s.strided_writes, 0, "fully coalesced");
+    }
+
+    #[test]
+    fn intermediate_sums_match_oracle() {
+        // Run only kernels 1+2 by checking the aux arrays after a full run
+        // would overwrite nothing: re-derive from a fresh run's buffers.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 16usize;
+        let w = 4usize;
+        let a = Matrix::<u64>::random(n, n, 17, 10);
+        let grid = TileGrid::new(n, w);
+        let sums = TileSums::new(&a, grid);
+        // Reconstruct GRS/GCS/GS from the reference and validate the
+        // decomposition identity the algorithm relies on:
+        // GSAT corner = LS accumulated + borders.
+        for ti in 0..grid.t {
+            for tj in 0..grid.t {
+                let gsat = sums.gsat(ti, tj);
+                let grs_sum: u64 = if tj > 0 { sums.grs(ti, tj - 1).iter().sum() } else { 0 };
+                let gcs_sum: u64 = if ti > 0 { sums.gcs(ti - 1, tj).iter().sum() } else { 0 };
+                let corner = if ti > 0 && tj > 0 { sums.gs(ti - 1, tj - 1) } else { 0 };
+                let ls = sums.ls(ti, tj);
+                assert_eq!(gsat.get(w - 1, w - 1), grs_sum + gcs_sum + corner + ls);
+            }
+        }
+        let (got, _) = compute_sat(&gpu, &alg(w), &a);
+        assert_eq!(got, reference::sat(&a));
+    }
+}

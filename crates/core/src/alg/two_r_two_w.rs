@@ -1,0 +1,133 @@
+//! The 2R2W algorithm — the naive two-kernel SAT (paper Section I-B).
+//!
+//! Kernel 1 assigns one thread per *column* and scans downward: at each
+//! time step the `n` threads touch one full matrix row, so every access is
+//! coalesced. Kernel 2 assigns one thread per *row* and scans rightward:
+//! at each step the threads touch one matrix column — stride-`n` access,
+//! the reason "the running time of 2R2W algorithm is much larger than that
+//! of matrix duplication". Parallelism is low (`n` threads total).
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{Gpu, LaunchConfig};
+use gpu_sim::metrics::RunMetrics;
+
+use super::SatAlgorithm;
+
+/// The naive column-pass + row-pass SAT.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoRTwoW {
+    /// Threads per block; the grid uses `ceil(n / tpb)` blocks so that
+    /// exactly `n` threads are in flight, as the paper describes.
+    pub threads_per_block: usize,
+}
+
+impl TwoRTwoW {
+    /// With the given block size (the paper's kernels use up to 1024).
+    pub fn new(threads_per_block: usize) -> Self {
+        TwoRTwoW { threads_per_block }
+    }
+}
+
+impl<T: DeviceElem> SatAlgorithm<T> for TwoRTwoW {
+    fn name(&self) -> String {
+        "2r2w".to_string()
+    }
+
+    fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics {
+        assert_eq!(input.len(), n * n);
+        assert_eq!(output.len(), n * n);
+        let tpb = self.threads_per_block.min(gpu.config().max_threads_per_block).min(n.max(1));
+        let blocks = n.div_ceil(tpb).max(1);
+        let mut run = RunMetrics::default();
+
+        // Kernel 1: column-wise prefix sums, one thread per column. The
+        // warp view of each step is one row segment: coalesced. Each
+        // thread streams a whole column of independent loads, so it keeps
+        // several memory requests in flight (ilp 8).
+        run.push(gpu.launch(LaunchConfig::new("2r2w_cols", blocks, tpb).with_ilp(8), |ctx| {
+            let c0 = ctx.block_idx() * tpb;
+            let c1 = ((ctx.block_idx() + 1) * tpb).min(n);
+            if c0 >= c1 {
+                return;
+            }
+            let width = c1 - c0;
+            let mut acc = vec![T::zero(); width];
+            let mut row = vec![T::zero(); width];
+            for i in 0..n {
+                input.load_row(ctx, i * n + c0, &mut row);
+                for (a, &v) in acc.iter_mut().zip(&row) {
+                    *a = a.add(v);
+                }
+                output.store_row(ctx, i * n + c0, &acc);
+            }
+        }));
+
+        // Kernel 2: row-wise prefix sums in place on `output`, one thread
+        // per row. The warp view of each step is one *column* of the
+        // row-major matrix: stride-n access. `load_col`/`store_col` with a
+        // memory stride of 1 still walk this thread's contiguous row, but
+        // charge the strided-warp cost, which is what the hardware pays.
+        run.push(gpu.launch(LaunchConfig::new("2r2w_rows", blocks, tpb).with_ilp(8), |ctx| {
+            let r0 = ctx.block_idx() * tpb;
+            let r1 = ((ctx.block_idx() + 1) * tpb).min(n);
+            let mut row = vec![T::zero(); n];
+            for r in r0..r1 {
+                output.load_col(ctx, r * n, 1, &mut row);
+                let mut acc = T::zero();
+                for v in row.iter_mut() {
+                    acc = acc.add(*v);
+                    *v = acc;
+                }
+                output.store_col(ctx, r * n, 1, &row);
+            }
+        }));
+
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::compute_sat;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use gpu_sim::prelude::*;
+
+    #[test]
+    fn matches_reference() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        for n in [1usize, 2, 5, 16, 33, 64] {
+            let a = Matrix::<u64>::random(n, n, 1, 10);
+            let (got, _) = compute_sat(&gpu, &TwoRTwoW::new(32), &a);
+            assert_eq!(got, reference::sat(&a), "n={n}");
+        }
+    }
+
+    #[test]
+    fn concurrent_matches() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let a = Matrix::<u64>::random(48, 48, 2, 10);
+        let (got, _) = compute_sat(&gpu, &TwoRTwoW::new(32), &a);
+        assert_eq!(got, reference::sat(&a));
+    }
+
+    #[test]
+    fn table1_row_2r2w() {
+        // 2 kernel calls, n threads, 2n^2 reads, 2n^2 writes, and the row
+        // pass fully strided.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 64usize;
+        let a = Matrix::<u32>::random(n, n, 3, 10);
+        let (_, run) = compute_sat(&gpu, &TwoRTwoW::new(32), &a);
+        assert_eq!(run.kernel_calls(), 2);
+        assert_eq!(run.max_threads(), n);
+        let n2 = (n * n) as u64;
+        assert_eq!(run.total_reads(), 2 * n2);
+        assert_eq!(run.total_writes(), 2 * n2);
+        let s = run.total_stats();
+        assert_eq!(s.strided_reads, n2, "row pass reads are strided");
+        assert_eq!(s.strided_writes, n2, "row pass writes are strided");
+    }
+}

@@ -1,0 +1,181 @@
+//! Closed-form Table I quantities, checked against measured counters.
+//!
+//! Table I of the paper characterizes every algorithm by four quantities:
+//! kernel calls, maximum threads, global reads, global writes. This module
+//! states those formulas programmatically so tests (and the `table1`
+//! report) can verify that the *measured* metrics of an actual run match
+//! the paper's theory.
+
+use crate::alg::SatParams;
+
+/// Parallelism class of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// `n` threads.
+    Low,
+    /// `n W / m` threads.
+    Medium,
+    /// `n^2 / m` threads.
+    High,
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Low => write!(f, "low"),
+            Parallelism::Medium => write!(f, "medium"),
+            Parallelism::High => write!(f, "high"),
+        }
+    }
+}
+
+/// A row of Table I: the theoretical characterization of one algorithm.
+#[derive(Debug, Clone)]
+pub struct TableOneRow {
+    /// Algorithm label as in the paper.
+    pub algorithm: &'static str,
+    /// Exact kernel-call count.
+    pub kernel_calls: usize,
+    /// Leading-order maximum thread count.
+    pub threads: usize,
+    /// Parallelism class.
+    pub parallelism: Parallelism,
+    /// Leading-order global-memory element reads.
+    pub reads: u64,
+    /// Leading-order global-memory element writes.
+    pub writes: u64,
+}
+
+/// The whole of Table I for a given `n`, `W`, `m` (and hybrid `r`).
+pub fn table_one(n: usize, params: SatParams, r: f64) -> Vec<TableOneRow> {
+    let w = params.w;
+    let m = params.m();
+    let t = n / w;
+    let n2 = (n * n) as u64;
+    let sqrt_r = r.sqrt();
+    vec![
+        TableOneRow {
+            algorithm: "2R2W",
+            kernel_calls: 2,
+            threads: n,
+            parallelism: Parallelism::Low,
+            reads: 2 * n2,
+            writes: 2 * n2,
+        },
+        TableOneRow {
+            algorithm: "2R2W-optimal",
+            kernel_calls: 2,
+            threads: n * n / m,
+            parallelism: Parallelism::High,
+            reads: 2 * n2,
+            writes: 2 * n2,
+        },
+        TableOneRow {
+            algorithm: "2R1W",
+            kernel_calls: 3,
+            threads: n * n / m,
+            parallelism: Parallelism::High,
+            reads: 2 * n2,
+            writes: n2,
+        },
+        TableOneRow {
+            algorithm: "1R1W",
+            kernel_calls: 2 * t - 1,
+            threads: n * w / m,
+            parallelism: Parallelism::Medium,
+            reads: n2,
+            writes: n2,
+        },
+        TableOneRow {
+            algorithm: "(1+r)R1W",
+            kernel_calls: (2.0 * (1.0 - sqrt_r) * t as f64).round() as usize + 5,
+            threads: ((r * (n * n) as f64 / (2.0 * m as f64)) as usize).max(n * w / m),
+            parallelism: Parallelism::Medium,
+            reads: ((1.0 + r) * n2 as f64) as u64,
+            writes: n2,
+        },
+        TableOneRow {
+            algorithm: "1R1W-SKSS",
+            kernel_calls: 1,
+            threads: n * w / m,
+            parallelism: Parallelism::Medium,
+            reads: n2,
+            writes: n2,
+        },
+        TableOneRow {
+            algorithm: "1R1W-SKSS-LB",
+            kernel_calls: 1,
+            threads: n * n / m,
+            parallelism: Parallelism::High,
+            reads: n2,
+            writes: n2,
+        },
+    ]
+}
+
+/// Check a measured quantity against a leading-order prediction with an
+/// `O(n^2/W)`-sized allowance: `|measured - predicted| <= slack`.
+pub fn within_lower_order(measured: u64, predicted: u64, n: usize, w: usize) -> bool {
+    let slack = 16 * (n * n / w) as u64 + 64;
+    measured.abs_diff(predicted) <= slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{all_algorithms, compute_sat, SatParams};
+    use crate::matrix::Matrix;
+    use gpu_sim::prelude::*;
+
+    #[test]
+    fn table_one_shape() {
+        let rows = table_one(1024, SatParams::paper(32), 0.25);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].threads, 1024);
+        assert_eq!(rows[3].kernel_calls, 2 * 32 - 1);
+        assert_eq!(rows[6].parallelism, Parallelism::High);
+        // Threads ordering: low <= medium <= high (paper: n <= nW/m <= n^2/m).
+        assert!(rows[0].threads <= rows[5].threads);
+        assert!(rows[5].threads <= rows[6].threads);
+    }
+
+    /// The central Table I validation: run every algorithm on a real
+    /// matrix and compare measured kernel calls / reads / writes with the
+    /// closed forms.
+    #[test]
+    fn measured_metrics_match_theory() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 64usize;
+        let params = SatParams { w: 8, threads_per_block: 64 };
+        let a = Matrix::<u64>::random(n, n, 61, 10);
+        let theory = table_one(n, params, 0.25);
+        for (alg, row) in all_algorithms::<u64>(params).iter().zip(&theory) {
+            let (_, run) = compute_sat(&gpu, alg.as_ref(), &a);
+            assert!(
+                within_lower_order(run.total_reads(), row.reads, n, params.w),
+                "{}: reads measured {} vs theory {}",
+                row.algorithm,
+                run.total_reads(),
+                row.reads
+            );
+            assert!(
+                within_lower_order(run.total_writes(), row.writes, n, params.w),
+                "{}: writes measured {} vs theory {}",
+                row.algorithm,
+                run.total_writes(),
+                row.writes
+            );
+            // Kernel calls are exact for the non-hybrid algorithms.
+            if row.algorithm != "(1+r)R1W" && row.algorithm != "2R2W-optimal" {
+                assert_eq!(run.kernel_calls(), row.kernel_calls, "{}", row.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn slack_allowance() {
+        assert!(within_lower_order(1000, 1000, 64, 8));
+        assert!(within_lower_order(1000 + 500, 1000, 64, 8));
+        assert!(!within_lower_order(100_000, 1000, 64, 8));
+    }
+}

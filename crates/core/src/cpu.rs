@@ -1,0 +1,150 @@
+//! Multicore CPU SAT — a host-side comparison substrate.
+//!
+//! The paper's Section I argues GPUs beat multicore CPUs on this problem
+//! because SAT computation is pure memory streaming. To make that
+//! comparison concrete the crate ships a tiled, work-stealing-free CPU
+//! implementation using scoped OS threads: the same
+//! column-sums-then-row-scan decomposition as the tile algorithms, two
+//! barrier-separated phases, `O(n^2 / p)` work per thread.
+//!
+//! Phase 1: horizontal strips compute their local column-wise prefix sums
+//! and expose their last row. Phase 2: after carrying prefix sums across
+//! strip boundaries (sequential over `p` strips, negligible), each strip
+//! adds its carry and runs row-wise scans. Each element is touched twice —
+//! the CPU analogue of 2R2W — which is what the benches show losing to the
+//! 1R1W family on memory traffic.
+
+use gpu_sim::elem::DeviceElem;
+
+use crate::matrix::Matrix;
+
+/// Compute the SAT of `a` on `threads` OS threads. `threads = 1` is the
+/// sequential reference path.
+pub fn sat_parallel<T: DeviceElem>(a: &Matrix<T>, threads: usize) -> Matrix<T> {
+    let (rows, cols) = (a.rows(), a.cols());
+    let p = threads.clamp(1, rows.max(1));
+    let mut data = a.as_slice().to_vec();
+    if rows == 0 || cols == 0 {
+        return Matrix::from_vec(rows, cols, data);
+    }
+
+    // Strip boundaries: p contiguous row ranges.
+    let bounds: Vec<(usize, usize)> = (0..p)
+        .map(|k| (k * rows / p, (k + 1) * rows / p))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    // Phase 1: per-strip column-wise prefix sums (parallel).
+    {
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+        let mut rest: &mut [T] = &mut data;
+        let mut cursor = 0;
+        for &(lo, hi) in &bounds {
+            let (head, tail) = rest.split_at_mut((hi - lo) * cols);
+            debug_assert_eq!(cursor, lo * cols);
+            cursor += head.len();
+            slices.push(head);
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for strip in slices {
+                scope.spawn(move || {
+                    let rows_here = strip.len() / cols;
+                    for r in 1..rows_here {
+                        for c in 0..cols {
+                            let above = strip[(r - 1) * cols + c];
+                            let cur = &mut strip[r * cols + c];
+                            *cur = cur.add(above);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Exclusive per-strip column carries: carry[k] is the global column
+    // prefix through the end of strip k-1. Sequential, but only O(p * n)
+    // work on the p boundary rows.
+    let mut carries: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    let mut running = vec![T::zero(); cols];
+    for &(_lo, hi) in &bounds {
+        carries.push(running.clone());
+        let last = (hi - 1) * cols;
+        for c in 0..cols {
+            running[c] = running[c].add(data[last + c]);
+        }
+    }
+
+    // Phase 2: fold in the column carry and run row-wise scans (parallel;
+    // strips are independent given their carry).
+    {
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(bounds.len());
+        let mut rest: &mut [T] = &mut data;
+        for &(lo, hi) in &bounds {
+            let (head, tail) = rest.split_at_mut((hi - lo) * cols);
+            slices.push(head);
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for (strip, carry) in slices.into_iter().zip(&carries) {
+                scope.spawn(move || {
+                    for row in strip.chunks_mut(cols) {
+                        let mut acc = T::zero();
+                        for (v, k) in row.iter_mut().zip(carry) {
+                            acc = acc.add(v.add(*k));
+                            *v = acc;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn matches_reference_single_thread() {
+        let a = Matrix::<u64>::random(33, 17, 1, 50);
+        assert_eq!(sat_parallel(&a, 1), reference::sat(&a));
+    }
+
+    #[test]
+    fn matches_reference_many_threads() {
+        for threads in [2usize, 3, 4, 7, 8] {
+            let a = Matrix::<u64>::random(64, 40, threads as u64, 50);
+            assert_eq!(sat_parallel(&a, threads), reference::sat(&a), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let a = Matrix::<u64>::random(3, 100, 9, 50);
+        assert_eq!(sat_parallel(&a, 64), reference::sat(&a));
+    }
+
+    #[test]
+    fn rectangular_and_degenerate_shapes() {
+        for (r, c) in [(1usize, 1usize), (1, 50), (50, 1), (5, 200), (200, 5)] {
+            let a = Matrix::<u64>::random(r, c, (r * c) as u64, 20);
+            assert_eq!(sat_parallel(&a, 4), reference::sat(&a), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn floats_close_to_reference() {
+        let a = Matrix::<f64>::random(48, 48, 10, 100);
+        let got = sat_parallel(&a, 4);
+        let expect = reference::sat(&a);
+        for i in 0..48 {
+            for j in 0..48 {
+                assert!((got.get(i, j) - expect.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

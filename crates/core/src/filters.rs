@@ -1,0 +1,255 @@
+//! Device-side SAT consumers: the image-processing operators the paper's
+//! introduction motivates, implemented as kernels over a SAT resident in
+//! simulated global memory.
+//!
+//! Everything here reads the SAT with the four-lookup rectangle-sum
+//! identity (`b[d][r] - b[u][r] - b[d][l] + b[u][l]`), so filter cost is
+//! independent of the window radius — the property that makes SATs worth
+//! building in the first place:
+//!
+//! * [`device_box_filter`] — mean filter with border clamping;
+//! * [`device_window_variance`] — per-pixel mean/variance over a window
+//!   (two SATs, the variance-shadow-map and adaptive-threshold kernel);
+//! * [`device_adaptive_threshold`] — Bradley-Roth style binarization
+//!   (pixel vs. a fraction of its neighbourhood mean).
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::{BlockCtx, Gpu, LaunchConfig};
+use gpu_sim::metrics::KernelMetrics;
+
+/// Clamped window bounds around `(i, j)` with radius `r` in an `n x n`
+/// image: inclusive `(r0, r1, c0, c1)`.
+#[inline]
+pub fn clamped_window(n: usize, i: usize, j: usize, r: usize) -> (usize, usize, usize, usize) {
+    (i.saturating_sub(r), (i + r).min(n - 1), j.saturating_sub(r), (j + r).min(n - 1))
+}
+
+/// Four-lookup rectangle sum over a SAT in global memory (accounted
+/// device reads). Border rows/columns need fewer lookups, exactly as on a
+/// GPU where the guard reads are predicated off.
+#[inline]
+pub fn device_region_sum<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    sat: &GlobalBuffer<T>,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) -> T {
+    let d = sat.read(ctx, r1 * n + c1);
+    let b = if r0 > 0 { sat.read(ctx, (r0 - 1) * n + c1) } else { T::zero() };
+    let c = if c0 > 0 { sat.read(ctx, r1 * n + c0 - 1) } else { T::zero() };
+    let a = if r0 > 0 && c0 > 0 { sat.read(ctx, (r0 - 1) * n + c0 - 1) } else { T::zero() };
+    d.sub(b).sub(c).add(a)
+}
+
+/// Box (mean) filter of radius `radius` over an image whose SAT is in
+/// `sat`, writing `f64` means to `out`. One thread per pixel, one block
+/// per row stripe.
+pub fn device_box_filter(
+    gpu: &Gpu,
+    sat: &GlobalBuffer<f64>,
+    out: &GlobalBuffer<f64>,
+    n: usize,
+    radius: usize,
+) -> KernelMetrics {
+    assert_eq!(sat.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    let tpb = gpu.config().max_threads_per_block.min(n.max(1));
+    let rows_per_block = tpb.max(1);
+    let blocks = n.div_ceil(rows_per_block).max(1);
+    gpu.launch(LaunchConfig::new("box_filter", blocks, tpb), |ctx| {
+        let r_lo = ctx.block_idx() * rows_per_block;
+        let r_hi = ((ctx.block_idx() + 1) * rows_per_block).min(n);
+        for i in r_lo..r_hi {
+            for j in 0..n {
+                let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
+                let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
+                let s = device_region_sum(ctx, sat, n, r0, r1, c0, c1);
+                out.write(ctx, i * n + j, s / area);
+            }
+        }
+    })
+}
+
+/// Per-pixel windowed mean and variance from the SATs of the image and of
+/// its square (`Var = E[x^2] - E[x]^2`, clamped at zero against rounding).
+pub fn device_window_variance(
+    gpu: &Gpu,
+    sat: &GlobalBuffer<f64>,
+    sat_sq: &GlobalBuffer<f64>,
+    mean_out: &GlobalBuffer<f64>,
+    var_out: &GlobalBuffer<f64>,
+    n: usize,
+    radius: usize,
+) -> KernelMetrics {
+    assert!(sat.len() == n * n && sat_sq.len() == n * n);
+    assert!(mean_out.len() == n * n && var_out.len() == n * n);
+    let tpb = gpu.config().max_threads_per_block.min(n.max(1));
+    let blocks = n.div_ceil(tpb).max(1);
+    gpu.launch(LaunchConfig::new("window_variance", blocks, tpb), |ctx| {
+        let r_lo = ctx.block_idx() * tpb;
+        let r_hi = ((ctx.block_idx() + 1) * tpb).min(n);
+        for i in r_lo..r_hi {
+            for j in 0..n {
+                let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
+                let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
+                let m = device_region_sum(ctx, sat, n, r0, r1, c0, c1) / area;
+                let m2 = device_region_sum(ctx, sat_sq, n, r0, r1, c0, c1) / area;
+                mean_out.write(ctx, i * n + j, m);
+                var_out.write(ctx, i * n + j, (m2 - m * m).max(0.0));
+            }
+        }
+    })
+}
+
+/// Bradley-Roth adaptive thresholding: pixel `(i, j)` becomes 1 when its
+/// value exceeds `(1 - sensitivity)` times its windowed mean. Robust to
+/// illumination gradients that defeat any global threshold.
+pub fn device_adaptive_threshold(
+    gpu: &Gpu,
+    image: &GlobalBuffer<f64>,
+    sat: &GlobalBuffer<f64>,
+    out: &GlobalBuffer<u32>,
+    n: usize,
+    radius: usize,
+    sensitivity: f64,
+) -> KernelMetrics {
+    assert!(image.len() == n * n && sat.len() == n * n && out.len() == n * n);
+    let tpb = gpu.config().max_threads_per_block.min(n.max(1));
+    let blocks = n.div_ceil(tpb).max(1);
+    gpu.launch(LaunchConfig::new("adaptive_threshold", blocks, tpb), |ctx| {
+        let r_lo = ctx.block_idx() * tpb;
+        let r_hi = ((ctx.block_idx() + 1) * tpb).min(n);
+        for i in r_lo..r_hi {
+            for j in 0..n {
+                let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
+                let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
+                let mean = device_region_sum(ctx, sat, n, r0, r1, c0, c1) / area;
+                let v = image.read(ctx, i * n + j);
+                out.write(ctx, i * n + j, u32::from(v > mean * (1.0 - sensitivity)));
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{compute_sat, SatParams};
+    use crate::matrix::Matrix;
+    use crate::prelude::SkssLb;
+    use gpu_sim::prelude::*;
+
+    fn build_sat(gpu: &Gpu, img: &Matrix<f64>) -> GlobalBuffer<f64> {
+        let alg = SkssLb::new(SatParams { w: 8, threads_per_block: 64 });
+        let (sat, _) = compute_sat(gpu, &alg, img);
+        sat.to_device()
+    }
+
+    #[test]
+    fn box_filter_of_constant_image_is_identity() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 32;
+        let img = Matrix::from_fn(n, n, |_, _| 5.0f64);
+        let sat = build_sat(&gpu, &img);
+        let out = GlobalBuffer::<f64>::zeroed(n * n);
+        device_box_filter(&gpu, &sat, &out, n, 4);
+        for v in out.to_vec() {
+            assert!((v - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn box_filter_matches_naive() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 24;
+        let img = Matrix::<f64>::random(n, n, 77, 100);
+        let sat = build_sat(&gpu, &img);
+        let out = GlobalBuffer::<f64>::zeroed(n * n);
+        device_box_filter(&gpu, &sat, &out, n, 3);
+        let got = out.to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                let (r0, r1, c0, c1) = clamped_window(n, i, j, 3);
+                let mut acc = 0.0;
+                for y in r0..=r1 {
+                    for x in c0..=c1 {
+                        acc += img.get(y, x);
+                    }
+                }
+                let expect = acc / ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
+                assert!((got[i * n + j] - expect).abs() < 1e-6, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_cost_is_radius_independent() {
+        // The whole point of the SAT: identical read counts for radius 1
+        // and radius 10.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 32;
+        let img = Matrix::<f64>::random(n, n, 78, 10);
+        let sat = build_sat(&gpu, &img);
+        let out = GlobalBuffer::<f64>::zeroed(n * n);
+        let small = device_box_filter(&gpu, &sat, &out, n, 1);
+        let large = device_box_filter(&gpu, &sat, &out, n, 10);
+        // Both are ~4 reads per pixel; they differ only in how many border
+        // pixels' guard lookups are predicated off (wider windows clamp at
+        // the border more often, *saving* reads).
+        let n2 = (n * n) as u64;
+        for m in [&small, &large] {
+            assert!(m.stats.global_reads >= n2 && m.stats.global_reads <= 4 * n2);
+        }
+        assert!(large.stats.global_reads <= small.stats.global_reads);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero_and_of_checkerboard_positive() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 16;
+        let flat = Matrix::from_fn(n, n, |_, _| 3.0f64);
+        let checker = Matrix::from_fn(n, n, |i, j| ((i + j) % 2) as f64);
+        for (img, min_var, max_var) in [(&flat, 0.0, 1e-9), (&checker, 0.2, 0.26)] {
+            let sat = build_sat(&gpu, img);
+            let sq = Matrix::from_fn(n, n, |i, j| img.get(i, j) * img.get(i, j));
+            let sat_sq = build_sat(&gpu, &sq);
+            let mean = GlobalBuffer::<f64>::zeroed(n * n);
+            let var = GlobalBuffer::<f64>::zeroed(n * n);
+            device_window_variance(&gpu, &sat, &sat_sq, &mean, &var, n, 2);
+            let center = var.host_read((n / 2) * n + n / 2);
+            assert!(center >= min_var && center <= max_var, "variance {center}");
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_finds_dark_text_on_gradient() {
+        // A global threshold cannot separate "ink" (locally dark) from a
+        // strong illumination gradient; the adaptive threshold can.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let n = 48;
+        let img = Matrix::from_fn(n, n, |i, j| {
+            let illumination = 40.0 + 200.0 * (j as f64 / n as f64);
+            let ink = (16..20).contains(&i) && j % 8 < 3;
+            if ink {
+                illumination * 0.5
+            } else {
+                illumination
+            }
+        });
+        let sat = build_sat(&gpu, &img);
+        let image_dev = img.to_device();
+        let out = GlobalBuffer::<u32>::zeroed(n * n);
+        device_adaptive_threshold(&gpu, &image_dev, &sat, &out, n, 6, 0.15);
+        let bin = out.to_vec();
+        // Ink pixels (both in the dark left and bright right halves) must
+        // be 0; the plain background must be 1.
+        assert_eq!(bin[17 * n + 1], 0, "ink in the dark region");
+        assert_eq!(bin[17 * n + n - 8], 0, "ink in the bright region");
+        assert_eq!(bin[30 * n + 5], 1, "background left");
+        assert_eq!(bin[30 * n + n - 5], 1, "background right");
+    }
+}

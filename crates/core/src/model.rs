@@ -1,0 +1,361 @@
+//! Analytical synthesis of per-kernel [`RunMetrics`]: the closed-form
+//! counterpart of actually executing an algorithm.
+//!
+//! The functional simulator measures exact counters, but a 32K x 32K run
+//! (the top of the paper's Table III) would stream a billion elements
+//! through every algorithm. The counters, however, are *deterministic
+//! functions* of `n`, `W`, and the block shape — so this module writes
+//! those functions down, kernel by kernel, and the test suite pins them
+//! against measured runs at small sizes (see `synthetic_matches_measured`).
+//! Reports can then extrapolate the full Table III through the very same
+//! timing model used for measured runs.
+//!
+//! Element width is fixed at 4 bytes (the paper's `float`).
+
+use gpu_sim::device::DeviceConfig;
+use gpu_sim::metrics::{BlockStats, CriticalPath, KernelMetrics, RunMetrics};
+
+use crate::alg::SatParams;
+
+const EB: u64 = 4; // element bytes (f32, as in the paper)
+
+/// Which algorithm to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgKind {
+    /// `cudaMemcpy` duplication baseline.
+    Duplicate,
+    /// Naive 2R2W.
+    TwoRTwoW,
+    /// 2R2W-optimal (Merrill-Garland + Tokura).
+    TwoRTwoWOpt,
+    /// Nehab 2R1W.
+    TwoROneW,
+    /// Kasagi 1R1W.
+    OneROneW,
+    /// Kasagi (1+r)R1W hybrid.
+    Hybrid(f64),
+    /// Funasaka 1R1W-SKSS.
+    Skss,
+    /// The paper's 1R1W-SKSS-LB.
+    SkssLb,
+}
+
+impl AlgKind {
+    /// Report label, matching the measured algorithms' names.
+    pub fn label(&self) -> String {
+        match self {
+            AlgKind::Duplicate => "memcpy".into(),
+            AlgKind::TwoRTwoW => "2r2w".into(),
+            AlgKind::TwoRTwoWOpt => "2r2w_opt".into(),
+            AlgKind::TwoROneW => "2r1w".into(),
+            AlgKind::OneROneW => "1r1w".into(),
+            AlgKind::Hybrid(r) => format!("hybrid_r{r:.2}"),
+            AlgKind::Skss => "skss".into(),
+            AlgKind::SkssLb => "skss_lb".into(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn kernel(
+    label: &str,
+    blocks: usize,
+    tpb: usize,
+    reads: u64,
+    writes: u64,
+    strided_reads: u64,
+    strided_writes: u64,
+    shared: u64,
+    cp: CriticalPath,
+    cfg: &DeviceConfig,
+) -> KernelMetrics {
+    let sb = cfg.strided_bytes_per_elem as u64;
+    KernelMetrics {
+        label: label.to_string(),
+        blocks,
+        threads_per_block: tpb,
+        stats: BlockStats {
+            global_reads: reads,
+            global_writes: writes,
+            bytes_read: (reads - strided_reads) * EB + strided_reads * sb,
+            bytes_written: (writes - strided_writes) * EB + strided_writes * sb,
+            strided_reads,
+            strided_writes,
+            shared_accesses: shared,
+            ..Default::default()
+        },
+        critical_path: cp,
+        ilp: 1,
+        host_seconds: 0.0,
+    }
+}
+
+/// Synthesize the metrics of one algorithm run on an `n x n` float matrix.
+///
+/// `params` supplies `W` and the block size, exactly as for a measured
+/// run. Panics if a tile-based algorithm gets a non-divisible `n`.
+pub fn synthesize(kind: AlgKind, n: usize, params: SatParams, cfg: &DeviceConfig) -> RunMetrics {
+    let n2 = (n * n) as u64;
+    let w = params.w;
+    let wu = w as u64;
+    let tpb = params.threads_per_block.min(cfg.max_threads_per_block);
+    let t = n / w.max(1);
+    let tiles = (t * t) as u64;
+    // Shared-memory accesses of the tile SAT pipeline per tile: copy in
+    // (w^2), row sums (w^2), borders (~4w), scans (2 * 2 w(w-1)), copy out
+    // (w^2) — about 7 w^2.
+    let tile_shared = 7 * wu * wu;
+    let mut run = RunMetrics::default();
+
+    match kind {
+        AlgKind::Duplicate => {
+            let blocks = (n * n).div_ceil(1024);
+            run.push(kernel("memcpy", blocks, 1024, n2, n2, 0, 0, 0, CriticalPath::NONE, cfg));
+        }
+        AlgKind::TwoRTwoW => {
+            let blocks = n.div_ceil(tpb).max(1);
+            let mut cols = kernel("2r2w_cols", blocks, tpb.min(n), n2, n2, 0, 0, 0, CriticalPath::NONE, cfg);
+            cols.ilp = 8;
+            run.push(cols);
+            let mut rows = kernel("2r2w_rows", blocks, tpb.min(n), n2, n2, n2, n2, 0, CriticalPath::NONE, cfg);
+            rows.ilp = 8;
+            run.push(rows);
+        }
+        AlgKind::TwoRTwoWOpt => {
+            // Column pass: bands of tpb columns, strips as tall as the
+            // shared strip buffer allows (capped at 32 rows); decoupled
+            // look-back over vector aggregates.
+            let band = tpb.min(n);
+            let strip = (cfg.shared_mem_per_block / (band * EB as usize)).clamp(1, 32).min(n);
+            let strips = n.div_ceil(strip).max(1) as u64;
+            let bands = n.div_ceil(band).max(1);
+            run.push(kernel(
+                "col_scan",
+                strips as usize * bands,
+                tpb,
+                n2 + (strips - 1) * n as u64,
+                n2 + (2 * strips - 1) * n as u64,
+                0,
+                0,
+                2 * n2,
+                CriticalPath { hops: strips, bytes_per_hop: 0 },
+                cfg,
+            ));
+            // Row pass: decoupled look-back tiles of 4 * tpb elements.
+            let tile_elems = 4 * tpb;
+            let tiles_per_row = n.div_ceil(tile_elems).max(1);
+            let blocks = tiles_per_row * n;
+            let aux = (blocks as u64) * 2;
+            run.push(kernel(
+                "row_scan",
+                blocks,
+                tpb,
+                n2 + aux,
+                n2 + aux,
+                0,
+                0,
+                0,
+                CriticalPath { hops: tiles_per_row as u64, bytes_per_hop: 0 },
+                cfg,
+            ));
+        }
+        AlgKind::TwoROneW => {
+            // K1: read all tiles, write LRS + LCS + LS.
+            run.push(kernel(
+                "2r1w_k1",
+                tiles as usize,
+                tpb,
+                n2,
+                tiles * (2 * wu + 1),
+                0,
+                0,
+                tiles * 3 * wu * wu,
+                CriticalPath::NONE,
+                cfg,
+            ));
+            // K2: prefix-scan the aux arrays.
+            run.push(kernel(
+                "2r1w_k2",
+                2 * t + 1,
+                w.min(tpb),
+                tiles * (2 * wu + 1),
+                tiles * (2 * wu + 1),
+                0,
+                0,
+                0,
+                CriticalPath::NONE,
+                cfg,
+            ));
+            // K3: read all tiles + borders, write GSAT.
+            run.push(kernel(
+                "2r1w_k3",
+                tiles as usize,
+                tpb,
+                n2 + tiles * (2 * wu + 1),
+                n2,
+                0,
+                0,
+                tiles * tile_shared,
+                CriticalPath::NONE,
+                cfg,
+            ));
+        }
+        AlgKind::OneROneW => {
+            for d in 0..(2 * t).saturating_sub(1) {
+                let len = (d.min(t - 1) - d.saturating_sub(t - 1) + 1) as u64;
+                run.push(kernel(
+                    &format!("1r1w_wave{d}"),
+                    len as usize,
+                    tpb,
+                    len * (wu * wu + 2 * wu + 1),
+                    len * (wu * wu + 2 * wu + 1),
+                    0,
+                    0,
+                    len * tile_shared,
+                    CriticalPath::NONE,
+                    cfg,
+                ));
+            }
+        }
+        AlgKind::Hybrid(r) => {
+            let da = ((r.sqrt() * t as f64).floor() as usize).min(t.saturating_sub(1));
+            let diag_len = |d: usize| (d.min(t - 1) - d.saturating_sub(t - 1) + 1) as u64;
+            let band: u64 = (0..da).map(diag_len).sum();
+            if da > 0 {
+                run.push(kernel("hybrid_a1", band as usize, tpb, band * wu * wu, band * (2 * wu + 1), 0, 0, band * 3 * wu * wu, CriticalPath::NONE, cfg));
+                run.push(kernel("hybrid_a2", 2 * t + 1, w.min(tpb), band * (2 * wu + 4), band * (2 * wu + 1), 0, 0, 0, CriticalPath::NONE, cfg));
+                run.push(kernel("hybrid_a3", band as usize, tpb, band * (wu * wu + 2 * wu + 1), band * wu * wu, 0, 0, band * tile_shared, CriticalPath::NONE, cfg));
+            }
+            let last = 2 * t - 1;
+            for d in da..last - da {
+                let len = diag_len(d);
+                run.push(kernel(&format!("hybrid_b{d}"), len as usize, tpb, len * (wu * wu + 2 * wu + 1), len * (wu * wu + 2 * wu + 1), 0, 0, len * tile_shared, CriticalPath::NONE, cfg));
+            }
+            if da > 0 {
+                run.push(kernel("hybrid_c1", band as usize, tpb, band * wu * wu, band * (2 * wu + 1), 0, 0, band * 3 * wu * wu, CriticalPath::NONE, cfg));
+                run.push(kernel("hybrid_c2", 2 * t + 1, w.min(tpb), band * (2 * wu + 6), band * (2 * wu + 1), 0, 0, 0, CriticalPath::NONE, cfg));
+                run.push(kernel("hybrid_c3", band as usize, tpb, band * (wu * wu + 2 * wu + 1), band * wu * wu, 0, 0, band * tile_shared, CriticalPath::NONE, cfg));
+            }
+        }
+        AlgKind::Skss => {
+            // Tiles read once; GRS read per tile except column 0; GRS
+            // written per tile.
+            let grs_reads = (t * (t - 1)) as u64 * wu;
+            run.push(kernel(
+                "skss",
+                t,
+                tpb,
+                n2 + grs_reads,
+                n2 + tiles * wu,
+                0,
+                0,
+                tiles * tile_shared,
+                CriticalPath { hops: t as u64, bytes_per_hop: 2 * wu * wu * EB },
+                cfg,
+            ));
+        }
+        AlgKind::SkssLb => {
+            // Look-backs terminate after ~1 hop in expectation: each tile
+            // reads one GRS vector, one GCS vector, and one GS/GLS scalar.
+            // Writes: LRS + GRS + LCS + GCS (4W) + GLS + GS (2).
+            let lb_reads = tiles * (2 * wu + 1);
+            run.push(kernel(
+                "skss_lb",
+                tiles as usize,
+                tpb,
+                n2 + lb_reads,
+                n2 + tiles * (4 * wu + 2),
+                0,
+                0,
+                tiles * tile_shared,
+                CriticalPath { hops: (2 * t - 1) as u64, bytes_per_hop: 0 },
+                cfg,
+            ));
+        }
+    }
+    run
+}
+
+/// All Table III rows (duplication + seven algorithms).
+pub fn all_kinds() -> Vec<AlgKind> {
+    vec![
+        AlgKind::Duplicate,
+        AlgKind::TwoRTwoW,
+        AlgKind::TwoRTwoWOpt,
+        AlgKind::TwoROneW,
+        AlgKind::OneROneW,
+        AlgKind::Hybrid(0.25),
+        AlgKind::Skss,
+        AlgKind::SkssLb,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{all_algorithms, compute_sat};
+    use crate::matrix::Matrix;
+    use gpu_sim::prelude::*;
+
+    /// The synthetic generator must agree with measured runs: same kernel
+    /// count and max threads, and traffic within a few percent. This is
+    /// what licenses the 32K extrapolation of Table III.
+    #[test]
+    fn synthetic_matches_measured() {
+        let cfg = DeviceConfig::tiny();
+        let gpu = Gpu::new(cfg.clone());
+        let n = 64usize;
+        let params = SatParams { w: 8, threads_per_block: 64 };
+        let a = Matrix::<f32>::random(n, n, 71, 10);
+        let kinds = [
+            AlgKind::TwoRTwoW,
+            AlgKind::TwoRTwoWOpt,
+            AlgKind::TwoROneW,
+            AlgKind::OneROneW,
+            AlgKind::Hybrid(0.25),
+            AlgKind::Skss,
+            AlgKind::SkssLb,
+        ];
+        for (alg, kind) in all_algorithms::<f32>(params).iter().zip(kinds) {
+            let (_, measured) = compute_sat(&gpu, alg.as_ref(), &a);
+            let synth = synthesize(kind, n, params, &cfg);
+            assert_eq!(synth.kernel_calls(), measured.kernel_calls(), "{kind:?} kernels");
+            assert_eq!(synth.max_threads(), measured.max_threads(), "{kind:?} threads");
+            let rd = synth.total_reads() as f64 / measured.total_reads() as f64;
+            let wr = synth.total_writes() as f64 / measured.total_writes() as f64;
+            assert!((0.93..=1.07).contains(&rd), "{kind:?} reads synth/measured = {rd}");
+            assert!((0.93..=1.07).contains(&wr), "{kind:?} writes synth/measured = {wr}");
+        }
+    }
+
+    #[test]
+    fn duplicate_is_exact() {
+        let cfg = DeviceConfig::tiny();
+        let gpu = Gpu::new(cfg.clone());
+        let n = 64usize;
+        let input = GlobalBuffer::<f32>::zeroed(n * n);
+        let output = GlobalBuffer::<f32>::zeroed(n * n);
+        let measured = crate::alg::duplicate::Duplicate::new().copy(&gpu, &input, &output);
+        let synth = synthesize(AlgKind::Duplicate, n, SatParams::paper(32), &cfg);
+        assert_eq!(synth.total_reads(), measured.total_reads());
+        assert_eq!(synth.total_writes(), measured.total_writes());
+        assert_eq!(synth.total_bytes(), measured.total_bytes());
+    }
+
+    #[test]
+    fn synthesis_scales_to_32k() {
+        // The whole point: 32K^2 metrics in microseconds, no gigabytes.
+        let cfg = DeviceConfig::titan_v();
+        let run = synthesize(AlgKind::SkssLb, 32768, SatParams::paper(128), &cfg);
+        let n2 = 32768u64 * 32768;
+        assert!(run.total_reads() >= n2);
+        assert!(run.total_reads() < n2 + n2 / 8);
+        assert_eq!(run.kernel_calls(), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AlgKind::SkssLb.label(), "skss_lb");
+        assert_eq!(AlgKind::Hybrid(0.25).label(), "hybrid_r0.25");
+    }
+}

@@ -1,0 +1,117 @@
+//! Floating-point error analysis for single-precision SATs.
+//!
+//! The paper computes SATs of 4-byte `float` matrices up to 32K x 32K. A
+//! corner element of such a SAT sums 2^30 values; in f32 the relative
+//! rounding error of a length-m sum grows like `O(m * eps)` for naive
+//! accumulation (and the tiled algorithms' blocked order behaves like
+//! pairwise summation across tiles, which is much better). This module
+//! quantifies that: it computes the f32 SAT of a workload, compares every
+//! element against an f64 oracle, and reports the error profile — the
+//! information a downstream user needs to decide between `f32`, `f64`,
+//! and integer SATs.
+
+use crate::matrix::Matrix;
+
+/// Error profile of an f32 SAT against the f64 oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Maximum absolute error over all elements.
+    pub max_abs: f64,
+    /// Maximum relative error over elements with |oracle| > 1.
+    pub max_rel: f64,
+    /// Root-mean-square relative error.
+    pub rms_rel: f64,
+    /// The matrix side the report was computed for.
+    pub n: usize,
+}
+
+/// Compare an f32 SAT against the f64 reference SAT of the same input.
+pub fn compare_to_oracle(input: &Matrix<f32>, sat32: &Matrix<f32>) -> ErrorReport {
+    let n = input.rows();
+    assert_eq!(input.cols(), n);
+    let as64 = Matrix::from_fn(n, n, |i, j| input.get(i, j) as f64);
+    let oracle = crate::reference::sat(&as64);
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut sum_sq: f64 = 0.0;
+    let mut count = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            let e = oracle.get(i, j);
+            let g = sat32.get(i, j) as f64;
+            let abs = (g - e).abs();
+            max_abs = max_abs.max(abs);
+            if e.abs() > 1.0 {
+                let rel = abs / e.abs();
+                max_rel = max_rel.max(rel);
+                sum_sq += rel * rel;
+                count += 1;
+            }
+        }
+    }
+    ErrorReport {
+        max_abs,
+        max_rel,
+        rms_rel: if count > 0 { (sum_sq / count as f64).sqrt() } else { 0.0 },
+        n,
+    }
+}
+
+/// Error profile of the sequential f32 SAT for a uniform random workload
+/// of side `n` — the quick answer to "can I use f32 at this size?".
+pub fn f32_error_profile(n: usize, seed: u64) -> ErrorReport {
+    let input = Matrix::<f32>::random(n, n, seed, 256);
+    let sat32 = crate::reference::sat(&input);
+    compare_to_oracle(&input, &sat32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{compute_sat, SatParams};
+    use crate::prelude::SkssLb;
+    use gpu_sim::prelude::*;
+
+    #[test]
+    fn integer_valued_floats_are_exact_when_small() {
+        // Sums below 2^24 are exactly representable in f32: a 64x64 matrix
+        // of values < 256 tops out at ~2^20.
+        let r = f32_error_profile(64, 1);
+        assert_eq!(r.max_abs, 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn error_grows_with_matrix_size() {
+        // Past 2^24 the corner sums lose integer exactness; the profile
+        // must report it (values < 256, so 512^2 * 128 avg ~ 2^25).
+        let small = f32_error_profile(64, 2);
+        let large = f32_error_profile(640, 2);
+        assert!(large.max_abs >= small.max_abs, "{small:?} vs {large:?}");
+        assert!(large.max_rel < 1e-4, "f32 stays usable at this size: {large:?}");
+    }
+
+    #[test]
+    fn tiled_algorithm_error_no_worse_than_sequential_order_of_magnitude() {
+        // The tile-blocked summation order of SKSS-LB is pairwise-like
+        // across tiles; its error must be within 10x of the sequential
+        // scan's (in practice it is smaller).
+        let n = 256usize;
+        let input = Matrix::<f32>::random(n, n, 3, 256);
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let (sat32, _) = compute_sat(&gpu, &SkssLb::new(SatParams { w: 32, threads_per_block: 256 }), &input);
+        let tiled = compare_to_oracle(&input, &sat32);
+        let seq = compare_to_oracle(&input, &crate::reference::sat(&input));
+        assert!(
+            tiled.max_abs <= seq.max_abs * 10.0 + 1.0,
+            "tiled {tiled:?} vs sequential {seq:?}"
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let r = f32_error_profile(128, 4);
+        assert_eq!(r.n, 128);
+        assert!(r.rms_rel <= r.max_rel + 1e-18);
+        assert!(r.max_rel >= 0.0 && r.max_abs >= 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sequential SAT reference and the O(1) rectangle-sum query.
+//!
+//! The SAT's purpose (paper Section I-A): once `b` is the SAT of `a`,
+//!
+//! ```text
+//! sum(a[u+1..=d][l+1..=r]) = b[d][r] - b[u][r] - b[d][l] + b[u][l]
+//! ```
+//!
+//! so any rectangular sum costs four lookups. [`RegionQuery`] implements
+//! the inclusive-coordinates form used by the examples.
+
+use gpu_sim::elem::DeviceElem;
+
+use crate::matrix::Matrix;
+
+/// The SAT of `a`, computed sequentially (column-wise then row-wise prefix
+/// sums, exactly Fig. 2). The oracle for every parallel algorithm.
+pub fn sat<T: DeviceElem>(a: &Matrix<T>) -> Matrix<T> {
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut data = a.as_slice().to_vec();
+    prefix::seq::col_scan_in_place(&mut data, rows, cols);
+    prefix::seq::row_scan_in_place(&mut data, rows, cols);
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Sum of the inclusive rectangle `[r0..=r1] x [c0..=c1]` computed
+/// directly from the input in O(area) time — the slow oracle the O(1)
+/// query is validated against.
+pub fn region_sum_direct<T: DeviceElem>(
+    a: &Matrix<T>,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) -> T {
+    let mut acc = T::zero();
+    for i in r0..=r1 {
+        for j in c0..=c1 {
+            acc = acc.add(a.get(i, j));
+        }
+    }
+    acc
+}
+
+/// O(1) rectangle-sum queries over a precomputed SAT.
+#[derive(Debug, Clone)]
+pub struct RegionQuery<T> {
+    sat: Matrix<T>,
+}
+
+impl<T: DeviceElem> RegionQuery<T> {
+    /// Wrap a SAT produced by any of the algorithms in this crate.
+    pub fn new(sat: Matrix<T>) -> Self {
+        RegionQuery { sat }
+    }
+
+    /// The underlying SAT.
+    pub fn sat(&self) -> &Matrix<T> {
+        &self.sat
+    }
+
+    /// Sum of the inclusive rectangle `[r0..=r1] x [c0..=c1]` in four
+    /// lookups (fewer on the borders).
+    pub fn sum(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> T {
+        assert!(r0 <= r1 && r1 < self.sat.rows(), "row range out of bounds");
+        assert!(c0 <= c1 && c1 < self.sat.cols(), "column range out of bounds");
+        let d = self.sat.get(r1, c1);
+        let b = if r0 > 0 { self.sat.get(r0 - 1, c1) } else { T::zero() };
+        let c = if c0 > 0 { self.sat.get(r1, c0 - 1) } else { T::zero() };
+        let a = if r0 > 0 && c0 > 0 { self.sat.get(r0 - 1, c0 - 1) } else { T::zero() };
+        d.sub(b).sub(c).add(a)
+    }
+
+    /// Mean of the inclusive rectangle, for `f32`/`f64` box-filter uses.
+    pub fn mean_f64(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> f64
+    where
+        T: Into<f64>,
+    {
+        let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
+        self.sum(r0, r1, c0, c1).into() / area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<u64> {
+        Matrix::random(17, 23, 7, 9)
+    }
+
+    #[test]
+    fn sat_of_ones_is_area() {
+        let a = Matrix::from_fn(6, 8, |_, _| 1u32);
+        let b = sat(&a);
+        for i in 0..6 {
+            for j in 0..8 {
+                assert_eq!(b.get(i, j), ((i + 1) * (j + 1)) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn query_matches_direct_sum_exhaustively() {
+        let a = sample();
+        let q = RegionQuery::new(sat(&a));
+        for (r0, r1, c0, c1) in [
+            (0, 0, 0, 0),
+            (0, 16, 0, 22),
+            (3, 9, 4, 11),
+            (16, 16, 22, 22),
+            (0, 5, 10, 22),
+            (12, 16, 0, 3),
+        ] {
+            assert_eq!(
+                q.sum(r0, r1, c0, c1),
+                region_sum_direct(&a, r0, r1, c0, c1),
+                "rect ({r0},{r1},{c0},{c1})"
+            );
+        }
+    }
+
+    #[test]
+    fn query_every_single_cell() {
+        let a = sample();
+        let q = RegionQuery::new(sat(&a));
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(q.sum(i, i, j, j), a.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_region() {
+        let a = Matrix::from_fn(4, 4, |_, _| 3.0f64);
+        let q = RegionQuery::new(sat(&a));
+        assert!((q.mean_f64(1, 2, 1, 3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn query_bounds_checked() {
+        let q = RegionQuery::new(sat(&Matrix::<u32>::zeros(4, 4)));
+        let _ = q.sum(2, 5, 0, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Scalar element types storable in simulated device memory.
+//!
+//! Global memory must be readable and writable concurrently by blocks
+//! running on different OS threads. To keep every access well-defined even
+//! for (buggy) racy programs, each element is backed by an atomic word of
+//! exactly the element's width, accessed with `Relaxed` ordering. On x86-64
+//! a relaxed atomic load/store compiles to a plain `mov`, so this costs
+//! nothing over raw storage. Cross-block *synchronization* never relies on
+//! these relaxed accesses: it always goes through [`crate::sync`]'s
+//! acquire/release status flags, exactly like a CUDA kernel publishing data
+//! through a flag in global memory.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An atomic word that can back a device scalar.
+///
+/// Implemented for [`AtomicU32`] and [`AtomicU64`]; selected per element
+/// type through [`DeviceElem::Atom`] so that 4-byte elements occupy 4 bytes
+/// of host memory (a 32K x 32K `f32` matrix is 4 GiB, not 8).
+pub trait AtomBacking: Default + Send + Sync + 'static {
+    /// The plain integer carrying the element's bit pattern.
+    type Bits: Copy + Eq + Send + Sync + 'static;
+
+    /// Relaxed load of the bit pattern.
+    fn load_bits(&self) -> Self::Bits;
+    /// Relaxed store of the bit pattern.
+    fn store_bits(&self, bits: Self::Bits);
+    /// Compare-exchange used to implement device `atomicAdd` generically
+    /// (CAS loop over the bit pattern, as CUDA does for `double` on older
+    /// architectures).
+    fn compare_exchange_bits(&self, current: Self::Bits, new: Self::Bits) -> Result<Self::Bits, Self::Bits>;
+}
+
+impl AtomBacking for AtomicU32 {
+    type Bits = u32;
+
+    #[inline(always)]
+    fn load_bits(&self) -> u32 {
+        self.load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn store_bits(&self, bits: u32) {
+        self.store(bits, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn compare_exchange_bits(&self, current: u32, new: u32) -> Result<u32, u32> {
+        self.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+    }
+}
+
+impl AtomBacking for AtomicU64 {
+    type Bits = u64;
+
+    #[inline(always)]
+    fn load_bits(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn store_bits(&self, bits: u64) {
+        self.store(bits, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn compare_exchange_bits(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+    }
+}
+
+/// A scalar that can live in simulated device memory and be summed.
+///
+/// This is the arithmetic the SAT algorithms need: addition (prefix sums),
+/// subtraction (deriving `GRS`/`GCS` from a `GSAT` border and answering
+/// rectangle queries), and a zero. The paper uses 4-byte `float`; we are
+/// generic so exactness tests can run on integers where addition is
+/// associative.
+pub trait DeviceElem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Atomic backing word of the same width as the element.
+    type Atom: AtomBacking;
+
+    /// Element size in bytes as seen by the memory-traffic model.
+    const BYTES: u64;
+
+    /// Convert to the raw bit pattern stored in device memory.
+    fn to_bits(self) -> <Self::Atom as AtomBacking>::Bits;
+    /// Convert back from the raw bit pattern.
+    fn from_bits(bits: <Self::Atom as AtomBacking>::Bits) -> Self;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// Device addition (what `+` and `atomicAdd` compute).
+    fn add(self, rhs: Self) -> Self;
+    /// Device subtraction, the inverse of [`DeviceElem::add`].
+    fn sub(self, rhs: Self) -> Self;
+
+    /// Lossy conversion from a small integer, used by workload generators
+    /// and closed-form test oracles.
+    fn from_u32(v: u32) -> Self;
+}
+
+macro_rules! impl_device_elem {
+    ($ty:ty, $atom:ty, $bytes:expr, $to:expr, $from:expr) => {
+        impl DeviceElem for $ty {
+            type Atom = $atom;
+            const BYTES: u64 = $bytes;
+
+            #[inline(always)]
+            fn to_bits(self) -> <$atom as AtomBacking>::Bits {
+                ($to)(self)
+            }
+
+            #[inline(always)]
+            fn from_bits(bits: <$atom as AtomBacking>::Bits) -> Self {
+                ($from)(bits)
+            }
+
+            #[inline(always)]
+            fn zero() -> Self {
+                0 as $ty
+            }
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                self.wrapping_sub(rhs)
+            }
+
+            #[inline(always)]
+            fn from_u32(v: u32) -> Self {
+                v as $ty
+            }
+        }
+    };
+}
+
+impl_device_elem!(u32, AtomicU32, 4, |v: u32| v, |b: u32| b);
+impl_device_elem!(i32, AtomicU32, 4, |v: i32| v as u32, |b: u32| b as i32);
+impl_device_elem!(u64, AtomicU64, 8, |v: u64| v, |b: u64| b);
+impl_device_elem!(i64, AtomicU64, 8, |v: i64| v as u64, |b: u64| b as i64);
+
+impl DeviceElem for f32 {
+    type Atom = AtomicU32;
+    const BYTES: u64 = 4;
+
+    #[inline(always)]
+    fn to_bits(self) -> u32 {
+        self.to_bits()
+    }
+
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline(always)]
+    fn from_u32(v: u32) -> Self {
+        v as f32
+    }
+}
+
+impl DeviceElem for f64 {
+    type Atom = AtomicU64;
+    const BYTES: u64 = 8;
+
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline(always)]
+    fn from_u32(v: u32) -> Self {
+        v as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        for v in [0u32, 1, 7, u32::MAX, 0xdead_beef] {
+            assert_eq!(u32::from_bits(v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip_negative() {
+        for v in [0i32, -1, i32::MIN, i32::MAX, -12345] {
+            assert_eq!(i32::from_bits(DeviceElem::to_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_preserves_bits() {
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            let rt = <f32 as DeviceElem>::from_bits(DeviceElem::to_bits(v));
+            assert_eq!(rt.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_preserves_bits() {
+        for v in [0.0f64, -0.0, 1.5e300, f64::NEG_INFINITY] {
+            let rt = <f64 as DeviceElem>::from_bits(DeviceElem::to_bits(v));
+            assert_eq!(rt.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse_integers() {
+        assert_eq!(17u32.add(25).sub(25), 17);
+        assert_eq!((-3i64).add(10).sub(10), -3);
+        // Wrapping behaviour matches device integer arithmetic.
+        assert_eq!(u32::MAX.add(1), 0);
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        assert_eq!(42u64.add(u64::zero()), 42);
+        assert_eq!(<f64 as DeviceElem>::zero().add(2.5), 2.5);
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(<u32 as DeviceElem>::BYTES, 4);
+        assert_eq!(<f32 as DeviceElem>::BYTES, 4);
+        assert_eq!(<u64 as DeviceElem>::BYTES, 8);
+        assert_eq!(<f64 as DeviceElem>::BYTES, 8);
+    }
+
+    #[test]
+    fn atomic_backing_cas() {
+        let a = AtomicU32::new(5);
+        assert_eq!(a.load_bits(), 5);
+        a.store_bits(9);
+        assert_eq!(a.load_bits(), 9);
+        // CAS loop eventually succeeds even with weak semantics.
+        let mut cur = a.load_bits();
+        loop {
+            match a.compare_exchange_bits(cur, cur + 1) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        assert_eq!(a.load_bits(), 10);
+    }
+}

@@ -1,0 +1,293 @@
+//! Simulated global memory.
+//!
+//! A [`GlobalBuffer`] is the device DRAM: every block of every kernel can
+//! read and write it, and data written by one block becomes visible to
+//! another only through the synchronization primitives in [`crate::sync`]
+//! (exactly the CUDA contract). Device-side accessors are *accounted*: they
+//! take the calling block's [`launch::BlockCtx`](crate::launch::BlockCtx) and
+//! charge element counts and effective traffic bytes to its counters.
+//!
+//! Accounting distinguishes the two patterns that matter for the paper:
+//!
+//! * **coalesced** — a warp touches consecutive addresses; each element
+//!   costs its own width in traffic.
+//! * **strided** — a warp walks a column of a row-major matrix; each
+//!   element drags a wider slice of its DRAM sector through the bus
+//!   ([`DeviceConfig::strided_bytes_per_elem`](crate::device::DeviceConfig::strided_bytes_per_elem)).
+//!
+//! Host-side accessors (`host_*`, [`GlobalBuffer::to_vec`]) are free: they
+//! model `cudaMemcpy` of inputs/outputs, which the paper excludes from all
+//! timings.
+
+use crate::elem::{AtomBacking, DeviceElem};
+use crate::launch::BlockCtx;
+
+/// A typed allocation in simulated device global memory.
+pub struct GlobalBuffer<T: DeviceElem> {
+    data: Box<[T::Atom]>,
+    len: usize,
+}
+
+impl<T: DeviceElem> GlobalBuffer<T> {
+    /// Allocate `len` elements, zero-initialized (as `cudaMemset(0)`).
+    pub fn zeroed(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, T::Atom::default);
+        let buf = GlobalBuffer { data: v.into_boxed_slice(), len };
+        // `T::Atom::default()` is the zero bit pattern, which is `T::zero()`
+        // for every supported element type; make that explicit anyway.
+        debug_assert!(len == 0 || buf.host_read(0) == T::zero());
+        buf
+    }
+
+    /// Allocate and fill from host data (models host-to-device copy).
+    pub fn from_slice(src: &[T]) -> Self {
+        let buf = Self::zeroed(src.len());
+        for (i, &v) in src.iter().enumerate() {
+            buf.data[i].store_bits(v.to_bits());
+        }
+        buf
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Host-side read (not accounted).
+    #[inline]
+    pub fn host_read(&self, i: usize) -> T {
+        T::from_bits(self.data[i].load_bits())
+    }
+
+    /// Host-side write (not accounted).
+    #[inline]
+    pub fn host_write(&self, i: usize, v: T) {
+        self.data[i].store_bits(v.to_bits());
+    }
+
+    /// Copy the whole buffer back to the host (models device-to-host copy).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len).map(|i| self.host_read(i)).collect()
+    }
+
+    /// Host-side bulk fill.
+    pub fn host_fill(&self, v: T) {
+        let bits = v.to_bits();
+        for a in self.data.iter() {
+            a.store_bits(bits);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Device-side, accounted accessors.
+    // ------------------------------------------------------------------
+
+    /// Read one element as part of a coalesced warp access.
+    #[inline]
+    pub fn read(&self, ctx: &mut BlockCtx, i: usize) -> T {
+        ctx.stats.global_reads += 1;
+        ctx.stats.bytes_read += T::BYTES;
+        T::from_bits(self.data[i].load_bits())
+    }
+
+    /// Write one element as part of a coalesced warp access.
+    #[inline]
+    pub fn write(&self, ctx: &mut BlockCtx, i: usize, v: T) {
+        ctx.stats.global_writes += 1;
+        ctx.stats.bytes_written += T::BYTES;
+        self.data[i].store_bits(v.to_bits());
+    }
+
+    /// Read one element as part of a strided warp access (column walk of a
+    /// row-major matrix).
+    #[inline]
+    pub fn read_strided(&self, ctx: &mut BlockCtx, i: usize) -> T {
+        ctx.stats.global_reads += 1;
+        ctx.stats.strided_reads += 1;
+        ctx.stats.bytes_read += ctx.strided_bytes(T::BYTES);
+        T::from_bits(self.data[i].load_bits())
+    }
+
+    /// Write one element as part of a strided warp access.
+    #[inline]
+    pub fn write_strided(&self, ctx: &mut BlockCtx, i: usize, v: T) {
+        ctx.stats.global_writes += 1;
+        ctx.stats.strided_writes += 1;
+        ctx.stats.bytes_written += ctx.strided_bytes(T::BYTES);
+        self.data[i].store_bits(v.to_bits());
+    }
+
+    /// Coalesced bulk read of `dst.len()` consecutive elements starting at
+    /// `offset`.
+    pub fn load_row(&self, ctx: &mut BlockCtx, offset: usize, dst: &mut [T]) {
+        let n = dst.len() as u64;
+        ctx.stats.global_reads += n;
+        ctx.stats.bytes_read += n * T::BYTES;
+        for (k, d) in dst.iter_mut().enumerate() {
+            *d = T::from_bits(self.data[offset + k].load_bits());
+        }
+    }
+
+    /// Coalesced bulk write of consecutive elements starting at `offset`.
+    pub fn store_row(&self, ctx: &mut BlockCtx, offset: usize, src: &[T]) {
+        let n = src.len() as u64;
+        ctx.stats.global_writes += n;
+        ctx.stats.bytes_written += n * T::BYTES;
+        for (k, &v) in src.iter().enumerate() {
+            self.data[offset + k].store_bits(v.to_bits());
+        }
+    }
+
+    /// Strided bulk read: `dst.len()` elements at `start`, `start+stride`,
+    /// `start+2*stride`, ...
+    pub fn load_col(&self, ctx: &mut BlockCtx, start: usize, stride: usize, dst: &mut [T]) {
+        let n = dst.len() as u64;
+        ctx.stats.global_reads += n;
+        ctx.stats.strided_reads += n;
+        ctx.stats.bytes_read += n * ctx.strided_bytes(T::BYTES);
+        for (k, d) in dst.iter_mut().enumerate() {
+            *d = T::from_bits(self.data[start + k * stride].load_bits());
+        }
+    }
+
+    /// Strided bulk write, the mirror of [`GlobalBuffer::load_col`].
+    pub fn store_col(&self, ctx: &mut BlockCtx, start: usize, stride: usize, src: &[T]) {
+        let n = src.len() as u64;
+        ctx.stats.global_writes += n;
+        ctx.stats.strided_writes += n;
+        ctx.stats.bytes_written += n * ctx.strided_bytes(T::BYTES);
+        for (k, &v) in src.iter().enumerate() {
+            self.data[start + k * stride].store_bits(v.to_bits());
+        }
+    }
+
+    /// Device `atomicAdd`: atomically add `v` to element `i`, returning the
+    /// previous value. Implemented as a CAS loop over the bit pattern, like
+    /// CUDA's software atomics for types without hardware support.
+    pub fn atomic_add(&self, ctx: &mut BlockCtx, i: usize, v: T) -> T {
+        ctx.stats.atomic_ops += 1;
+        let slot = &self.data[i];
+        let mut cur = slot.load_bits();
+        loop {
+            let old = T::from_bits(cur);
+            let new = old.add(v).to_bits();
+            match slot.compare_exchange_bits(cur, new) {
+                Ok(_) => return old,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl<T: DeviceElem> std::fmt::Debug for GlobalBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GlobalBuffer<{}>[{}]", std::any::type_name::<T>(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::launch::{ExecMode, Gpu, LaunchConfig};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential)
+    }
+
+    #[test]
+    fn zeroed_and_host_roundtrip() {
+        let b = GlobalBuffer::<u32>::zeroed(16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.host_read(7), 0);
+        b.host_write(7, 99);
+        assert_eq!(b.host_read(7), 99);
+    }
+
+    #[test]
+    fn from_slice_to_vec_roundtrip() {
+        let src = vec![1.5f32, -2.0, 0.0, 7.25];
+        let b = GlobalBuffer::from_slice(&src);
+        assert_eq!(b.to_vec(), src);
+    }
+
+    #[test]
+    fn device_reads_are_counted() {
+        let g = gpu();
+        let b = GlobalBuffer::from_slice(&[10u32, 20, 30, 40]);
+        let m = g.launch(LaunchConfig::new("t", 1, 32), |ctx| {
+            let v = b.read(ctx, 2);
+            assert_eq!(v, 30);
+            b.write(ctx, 0, v + 1);
+        });
+        assert_eq!(m.stats.global_reads, 1);
+        assert_eq!(m.stats.global_writes, 1);
+        assert_eq!(m.stats.bytes_read, 4);
+        assert_eq!(m.stats.bytes_written, 4);
+        assert_eq!(b.host_read(0), 31);
+    }
+
+    #[test]
+    fn strided_access_charges_more_bytes() {
+        let g = gpu();
+        let b = GlobalBuffer::<u32>::zeroed(64);
+        let m = g.launch(LaunchConfig::new("t", 1, 32), |ctx| {
+            let mut dst = vec![0u32; 8];
+            b.load_col(ctx, 0, 8, &mut dst);
+            b.store_col(ctx, 1, 8, &dst);
+        });
+        assert_eq!(m.stats.global_reads, 8);
+        assert_eq!(m.stats.strided_reads, 8);
+        let strided = DeviceConfig::tiny().strided_bytes_per_elem as u64;
+        assert_eq!(m.stats.bytes_read, 8 * strided);
+        assert_eq!(m.stats.bytes_written, 8 * strided);
+    }
+
+    #[test]
+    fn bulk_row_ops_move_data() {
+        let g = gpu();
+        let b = GlobalBuffer::from_slice(&(0..32u32).collect::<Vec<_>>());
+        let out = GlobalBuffer::<u32>::zeroed(32);
+        g.launch(LaunchConfig::new("copy", 1, 32), |ctx| {
+            let mut tmp = vec![0u32; 32];
+            b.load_row(ctx, 0, &mut tmp);
+            out.store_row(ctx, 0, &tmp);
+        });
+        assert_eq!(out.to_vec(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn atomic_add_returns_previous() {
+        let g = gpu();
+        let b = GlobalBuffer::<u32>::zeroed(1);
+        let m = g.launch(LaunchConfig::new("atomics", 4, 32), |ctx| {
+            let prev = b.atomic_add(ctx, 0, 10);
+            assert!(prev % 10 == 0);
+        });
+        assert_eq!(b.host_read(0), 40);
+        assert_eq!(m.stats.atomic_ops, 4);
+    }
+
+    #[test]
+    fn atomic_add_f32() {
+        let g = gpu();
+        let b = GlobalBuffer::<f32>::zeroed(1);
+        g.launch(LaunchConfig::new("atomics", 8, 32), |ctx| {
+            b.atomic_add(ctx, 0, 0.5f32);
+        });
+        assert_eq!(b.host_read(0), 4.0);
+    }
+
+    #[test]
+    fn host_fill() {
+        let b = GlobalBuffer::<i64>::zeroed(10);
+        b.host_fill(-3);
+        assert!(b.to_vec().iter().all(|&v| v == -3));
+    }
+}

@@ -1,0 +1,432 @@
+//! Kernel launching: grids of blocks executed under a bounded-residency
+//! scheduler with pluggable dispatch order.
+//!
+//! The CUDA contract the simulator enforces is the one the paper leans on
+//! (Section I-A): "Since there is no explicit rule of CUDA block assignment
+//! to streaming multiprocessors, we need to design CUDA kernel programs so
+//! that they work correctly for any CUDA block assignment." A launch
+//! therefore takes a [`DispatchOrder`]; SKSS-style kernels must produce the
+//! same answer under all of them, which the test suites check.
+//!
+//! Two execution modes:
+//!
+//! * [`ExecMode::Sequential`] — blocks run one after another on the caller
+//!   thread in dispatch order. Deterministic, fast, and it converts soft-
+//!   synchronization ordering bugs into immediate panics (see
+//!   [`crate::sync::StatusBoard::wait_at_least`]).
+//! * [`ExecMode::Concurrent`] — a pool of OS worker threads executes
+//!   blocks with bounded residency, like SMs do. Flag spinning, atomic ID
+//!   assignment, and publication ordering are exercised for real.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::device::DeviceConfig;
+use crate::metrics::{BlockStats, CriticalPath, KernelAccumulator, KernelMetrics};
+use crate::trace::{EventKind, Tracer};
+
+use std::sync::Arc;
+
+/// How blocks are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One block after another, on the caller thread.
+    #[default]
+    Sequential,
+    /// Worker threads with bounded residency
+    /// ([`DeviceConfig::host_workers`]).
+    Concurrent,
+}
+
+/// The order in which the hardware scheduler starts blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchOrder {
+    /// Ascending block index (what real schedulers mostly do).
+    #[default]
+    InOrder,
+    /// Descending block index — adversarial for kernels that assume
+    /// hardware order, harmless for ones using virtual IDs.
+    Reversed,
+    /// A seeded pseudorandom permutation.
+    Random(u64),
+}
+
+impl DispatchOrder {
+    /// The permutation of `0..blocks` in which blocks are started.
+    pub fn permutation(&self, blocks: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..blocks).collect();
+        match *self {
+            DispatchOrder::InOrder => {}
+            DispatchOrder::Reversed => order.reverse(),
+            DispatchOrder::Random(seed) => {
+                // SplitMix64-driven Fisher-Yates; self-contained so the
+                // substrate crate stays dependency-free.
+                let mut s = seed.wrapping_add(0x9e3779b97f4a7c15);
+                let mut next = move || {
+                    s = s.wrapping_add(0x9e3779b97f4a7c15);
+                    let mut z = s;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                    z ^ (z >> 31)
+                };
+                for i in (1..blocks).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Shape and bookkeeping of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Label used in metrics and reports.
+    pub label: String,
+    /// Number of blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block (must not exceed the device maximum).
+    pub threads_per_block: usize,
+    /// Declared cross-block serialization structure (timing model input).
+    pub critical_path: CriticalPath,
+    /// Memory-level parallelism per thread: how many independent memory
+    /// requests each thread keeps in flight. Kernels whose threads stream
+    /// long independent runs (one thread per matrix row/column, as in
+    /// 2R2W) declare > 1; the timing model multiplies the thread count by
+    /// this factor when computing achievable bandwidth.
+    pub ilp: usize,
+}
+
+impl LaunchConfig {
+    /// A launch with no declared critical path.
+    pub fn new(label: impl Into<String>, blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            label: label.into(),
+            blocks,
+            threads_per_block,
+            critical_path: CriticalPath::NONE,
+            ilp: 1,
+        }
+    }
+
+    /// Attach a critical-path declaration (builder style).
+    pub fn with_critical_path(mut self, cp: CriticalPath) -> Self {
+        self.critical_path = cp;
+        self
+    }
+
+    /// Declare per-thread memory-level parallelism (builder style).
+    pub fn with_ilp(mut self, ilp: usize) -> Self {
+        self.ilp = ilp.max(1);
+        self
+    }
+}
+
+/// Per-block execution context handed to the kernel body: the block's
+/// identity, its access counters, and the device description.
+pub struct BlockCtx<'a> {
+    block_idx: usize,
+    threads_per_block: usize,
+    sequential: bool,
+    cfg: &'a DeviceConfig,
+    tracer: Option<&'a Tracer>,
+    /// The block's access counters; buffer and tile accessors charge here.
+    pub stats: BlockStats,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// The block's index within the grid (CUDA `blockIdx.x`). Note this is
+    /// the *logical* index — dispatch order does not change it, which is
+    /// exactly why SKSS kernels must use a
+    /// [`DeviceCounter`](crate::sync::DeviceCounter) instead.
+    pub fn block_idx(&self) -> usize {
+        self.block_idx
+    }
+
+    /// Threads per block declared at launch (CUDA `blockDim.x`).
+    pub fn threads_per_block(&self) -> usize {
+        self.threads_per_block
+    }
+
+    /// The device this block runs on.
+    pub fn config(&self) -> &DeviceConfig {
+        self.cfg
+    }
+
+    /// Whether this launch executes blocks sequentially (used by waits to
+    /// turn impossible spins into panics).
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// `__syncthreads()`: barrier across the block's threads. Functionally
+    /// a no-op in the warp-synchronous emulation; counted because the
+    /// paper counts them ("only three barrier synchronization operations
+    /// are performed").
+    pub fn syncthreads(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Effective traffic charged per element of a strided global access.
+    #[inline]
+    pub fn strided_bytes(&self, elem_bytes: u64) -> u64 {
+        (self.cfg.strided_bytes_per_elem as u64).max(elem_bytes)
+    }
+
+    /// Record a trace event if this launch is traced (no-op otherwise).
+    #[inline]
+    pub fn trace(&self, kind: EventKind) {
+        if let Some(t) = self.tracer {
+            t.record(self.block_idx, kind);
+        }
+    }
+}
+
+/// A simulated GPU: a device description plus an execution policy.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cfg: DeviceConfig,
+    mode: ExecMode,
+    dispatch: DispatchOrder,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl Gpu {
+    /// A GPU in deterministic sequential mode with in-order dispatch.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Gpu { cfg, mode: ExecMode::Sequential, dispatch: DispatchOrder::InOrder, tracer: None }
+    }
+
+    /// Attach a tracer that records every launch made through this handle
+    /// (builder style). Useful to trace a whole multi-kernel algorithm
+    /// run; for a single launch prefer [`Gpu::launch_traced`].
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Set the execution mode (builder style).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the dispatch order (builder style).
+    pub fn with_dispatch(mut self, dispatch: DispatchOrder) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The device description.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The current dispatch order.
+    pub fn dispatch(&self) -> DispatchOrder {
+        self.dispatch
+    }
+
+    /// Launch a kernel: run `body` once per block and return the launch's
+    /// aggregated metrics.
+    ///
+    /// The body must be `Fn` (not `FnMut`): blocks may run concurrently
+    /// and in any order, so all cross-block state must live in
+    /// [`GlobalBuffer`](crate::global::GlobalBuffer)s,
+    /// [`StatusBoard`](crate::sync::StatusBoard)s, or
+    /// [`DeviceCounter`](crate::sync::DeviceCounter)s — the same rule CUDA
+    /// imposes.
+    pub fn launch<F>(&self, lc: LaunchConfig, body: F) -> KernelMetrics
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.launch_inner(lc, self.tracer.as_deref(), body)
+    }
+
+    /// [`Gpu::launch`] with an attached [`Tracer`] recording block spans
+    /// and flag traffic.
+    pub fn launch_traced<F>(&self, lc: LaunchConfig, tracer: &Tracer, body: F) -> KernelMetrics
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.launch_inner(lc, Some(tracer), body)
+    }
+
+    fn launch_inner<F>(&self, lc: LaunchConfig, tracer: Option<&Tracer>, body: F) -> KernelMetrics
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        assert!(
+            lc.threads_per_block <= self.cfg.max_threads_per_block,
+            "{} threads per block exceeds the device maximum {}",
+            lc.threads_per_block,
+            self.cfg.max_threads_per_block
+        );
+        let order = self.dispatch.permutation(lc.blocks);
+        let acc = KernelAccumulator::default();
+        let start = Instant::now();
+
+        match self.mode {
+            ExecMode::Sequential => {
+                for &b in &order {
+                    let mut ctx = BlockCtx {
+                        block_idx: b,
+                        threads_per_block: lc.threads_per_block,
+                        sequential: true,
+                        cfg: &self.cfg,
+                        tracer,
+                        stats: BlockStats::default(),
+                    };
+                    ctx.trace(EventKind::BlockStart);
+                    body(&mut ctx);
+                    ctx.trace(EventKind::BlockEnd);
+                    acc.absorb(&ctx.stats);
+                }
+            }
+            ExecMode::Concurrent => {
+                let workers = self.cfg.host_workers.max(1).min(lc.blocks.max(1));
+                let cursor = AtomicUsize::new(0);
+                let cursor = &cursor;
+                let order = &order;
+                let body = &body;
+                let acc_ref = &acc;
+                let cfg = &self.cfg;
+                let tpb = lc.threads_per_block;
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(move || loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= order.len() {
+                                break;
+                            }
+                            let mut ctx = BlockCtx {
+                                block_idx: order[k],
+                                threads_per_block: tpb,
+                                sequential: false,
+                                cfg,
+                                tracer,
+                                stats: BlockStats::default(),
+                            };
+                            ctx.trace(EventKind::BlockStart);
+                            body(&mut ctx);
+                            ctx.trace(EventKind::BlockEnd);
+                            acc_ref.absorb(&ctx.stats);
+                        });
+                    }
+                });
+            }
+        }
+
+        KernelMetrics {
+            label: lc.label,
+            blocks: lc.blocks,
+            threads_per_block: lc.threads_per_block,
+            stats: acc.snapshot(),
+            critical_path: lc.critical_path,
+            ilp: lc.ilp,
+            host_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalBuffer;
+
+    #[test]
+    fn permutations_cover_all_blocks() {
+        for d in [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(3)] {
+            let mut p = d.permutation(17);
+            p.sort_unstable();
+            assert_eq!(p, (0..17).collect::<Vec<_>>(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_seeded_and_nontrivial() {
+        let a = DispatchOrder::Random(1).permutation(64);
+        let b = DispatchOrder::Random(1).permutation(64);
+        let c = DispatchOrder::Random(2).permutation(64);
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seeds differ");
+        assert_ne!(a, (0..64).collect::<Vec<_>>(), "not the identity");
+    }
+
+    #[test]
+    fn every_block_runs_once() {
+        for mode in [ExecMode::Sequential, ExecMode::Concurrent] {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(mode);
+            let hits = GlobalBuffer::<u32>::zeroed(100);
+            let m = gpu.launch(LaunchConfig::new("count", 100, 64), |ctx| {
+                hits.atomic_add(ctx, ctx.block_idx(), 1);
+            });
+            assert!(hits.to_vec().iter().all(|&h| h == 1), "{mode:?}");
+            assert_eq!(m.blocks, 100);
+            assert_eq!(m.threads(), 100 * 64);
+        }
+    }
+
+    #[test]
+    fn block_idx_is_logical_not_dispatch_position() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_dispatch(DispatchOrder::Reversed);
+        let out = GlobalBuffer::<u32>::zeroed(10);
+        gpu.launch(LaunchConfig::new("idx", 10, 32), |ctx| {
+            out.write(ctx, ctx.block_idx(), ctx.block_idx() as u32);
+        });
+        assert_eq!(out.to_vec(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_aggregate_across_blocks() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let buf = GlobalBuffer::<u32>::zeroed(32);
+        let m = gpu.launch(LaunchConfig::new("agg", 8, 32), |ctx| {
+            for k in 0..4 {
+                buf.read(ctx, k);
+            }
+            ctx.syncthreads();
+        });
+        assert_eq!(m.stats.global_reads, 8 * 4);
+        assert_eq!(m.stats.barriers, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device maximum")]
+    fn oversized_block_rejected() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        gpu.launch(LaunchConfig::new("big", 1, 100_000), |_ctx| {});
+    }
+
+    #[test]
+    fn zero_blocks_is_a_no_op() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let m = gpu.launch(LaunchConfig::new("empty", 0, 32), |_ctx| {
+            panic!("must not run");
+        });
+        assert_eq!(m.stats.global_reads, 0);
+        assert_eq!(m.blocks, 0);
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_counters() {
+        let run = |mode| {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(mode);
+            let buf = GlobalBuffer::<u64>::zeroed(256);
+            let m = gpu.launch(LaunchConfig::new("sum", 16, 64), |ctx| {
+                let base = ctx.block_idx() * 16;
+                let mut tmp = vec![0u64; 16];
+                buf.load_row(ctx, base, &mut tmp);
+                buf.store_row(ctx, base, &tmp);
+            });
+            m.stats.deterministic()
+        };
+        assert_eq!(run(ExecMode::Sequential), run(ExecMode::Concurrent));
+    }
+}

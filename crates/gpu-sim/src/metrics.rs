@@ -1,0 +1,340 @@
+//! Access counters: the measured quantities behind Table I and the inputs
+//! to the timing model behind Table III.
+//!
+//! Counting happens at three levels:
+//!
+//! 1. [`BlockStats`] — plain (non-atomic) per-block counters owned by a
+//!    `BlockCtx`; incrementing them is free enough to do per element.
+//! 2. [`KernelAccumulator`] — atomic aggregation target each block flushes
+//!    into exactly once, when it finishes.
+//! 3. [`KernelMetrics`] / [`RunMetrics`] — immutable snapshots returned to
+//!    the caller, one per kernel launch and one per algorithm run.
+//!
+//! Counters are identical under sequential and concurrent execution (they
+//! depend only on what the algorithm does, not on scheduling), with the
+//! single documented exception of `flag_poll_iterations`, which counts
+//! spin-loop retries and is inherently schedule-dependent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-block access counters. All quantities are totals over the block's
+/// lifetime; `bytes_*` fields are *effective* traffic as charged by the
+/// device model (strided accesses cost more bytes than they transfer
+/// usefully).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Global-memory element reads.
+    pub global_reads: u64,
+    /// Global-memory element writes.
+    pub global_writes: u64,
+    /// Effective bytes of read traffic (coalesced: element size per
+    /// element; strided: `DeviceConfig::strided_bytes_per_elem`).
+    pub bytes_read: u64,
+    /// Effective bytes of write traffic.
+    pub bytes_written: u64,
+    /// Subset of `global_reads` performed with stride access.
+    pub strided_reads: u64,
+    /// Subset of `global_writes` performed with stride access.
+    pub strided_writes: u64,
+    /// Shared-memory element accesses (reads + writes).
+    pub shared_accesses: u64,
+    /// Extra serialized shared-memory cycles caused by bank conflicts.
+    /// A conflict-free warp access adds 0; a k-way conflict adds k-1.
+    pub bank_conflict_cycles: u64,
+    /// Device atomic read-modify-write operations.
+    pub atomic_ops: u64,
+    /// Completed waits on a status flag (one per `wait_*` call).
+    pub flag_waits: u64,
+    /// Spin-loop iterations spent inside flag waits. Schedule-dependent;
+    /// excluded from equality comparisons of deterministic counters.
+    pub flag_poll_iterations: u64,
+    /// Status-flag publications.
+    pub flag_publishes: u64,
+    /// `__syncthreads()` barriers executed by the block.
+    pub barriers: u64,
+    /// Warp shuffle operations (one per lane-exchange step).
+    pub warp_shuffles: u64,
+}
+
+impl BlockStats {
+    /// Merge `other` into `self` by field-wise addition.
+    pub fn merge(&mut self, other: &BlockStats) {
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.strided_reads += other.strided_reads;
+        self.strided_writes += other.strided_writes;
+        self.shared_accesses += other.shared_accesses;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.atomic_ops += other.atomic_ops;
+        self.flag_waits += other.flag_waits;
+        self.flag_poll_iterations += other.flag_poll_iterations;
+        self.flag_publishes += other.flag_publishes;
+        self.barriers += other.barriers;
+        self.warp_shuffles += other.warp_shuffles;
+    }
+
+    /// The deterministic part of the counters: everything except spin-loop
+    /// iteration counts. Two executions of the same algorithm must agree on
+    /// this regardless of block scheduling.
+    pub fn deterministic(&self) -> BlockStats {
+        let mut c = self.clone();
+        c.flag_poll_iterations = 0;
+        c
+    }
+}
+
+/// Atomic aggregation target shared by all blocks of one kernel launch.
+#[derive(Debug, Default)]
+pub struct KernelAccumulator {
+    global_reads: AtomicU64,
+    global_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    strided_reads: AtomicU64,
+    strided_writes: AtomicU64,
+    shared_accesses: AtomicU64,
+    bank_conflict_cycles: AtomicU64,
+    atomic_ops: AtomicU64,
+    flag_waits: AtomicU64,
+    flag_poll_iterations: AtomicU64,
+    flag_publishes: AtomicU64,
+    barriers: AtomicU64,
+    warp_shuffles: AtomicU64,
+}
+
+impl KernelAccumulator {
+    /// Flush a finished block's counters. Called once per block.
+    pub fn absorb(&self, s: &BlockStats) {
+        self.global_reads.fetch_add(s.global_reads, Ordering::Relaxed);
+        self.global_writes.fetch_add(s.global_writes, Ordering::Relaxed);
+        self.bytes_read.fetch_add(s.bytes_read, Ordering::Relaxed);
+        self.bytes_written.fetch_add(s.bytes_written, Ordering::Relaxed);
+        self.strided_reads.fetch_add(s.strided_reads, Ordering::Relaxed);
+        self.strided_writes.fetch_add(s.strided_writes, Ordering::Relaxed);
+        self.shared_accesses.fetch_add(s.shared_accesses, Ordering::Relaxed);
+        self.bank_conflict_cycles
+            .fetch_add(s.bank_conflict_cycles, Ordering::Relaxed);
+        self.atomic_ops.fetch_add(s.atomic_ops, Ordering::Relaxed);
+        self.flag_waits.fetch_add(s.flag_waits, Ordering::Relaxed);
+        self.flag_poll_iterations
+            .fetch_add(s.flag_poll_iterations, Ordering::Relaxed);
+        self.flag_publishes.fetch_add(s.flag_publishes, Ordering::Relaxed);
+        self.barriers.fetch_add(s.barriers, Ordering::Relaxed);
+        self.warp_shuffles.fetch_add(s.warp_shuffles, Ordering::Relaxed);
+    }
+
+    /// Snapshot the totals.
+    pub fn snapshot(&self) -> BlockStats {
+        BlockStats {
+            global_reads: self.global_reads.load(Ordering::Relaxed),
+            global_writes: self.global_writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            strided_reads: self.strided_reads.load(Ordering::Relaxed),
+            strided_writes: self.strided_writes.load(Ordering::Relaxed),
+            shared_accesses: self.shared_accesses.load(Ordering::Relaxed),
+            bank_conflict_cycles: self.bank_conflict_cycles.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            flag_waits: self.flag_waits.load(Ordering::Relaxed),
+            flag_poll_iterations: self.flag_poll_iterations.load(Ordering::Relaxed),
+            flag_publishes: self.flag_publishes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            warp_shuffles: self.warp_shuffles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serialization structure of a soft-synchronized kernel, declared by the
+/// algorithm at launch time and consumed by the timing model.
+///
+/// `hops` is the length of the longest cross-block dependency chain (for
+/// the SKSS algorithms, the `2n/W - 1` diagonal/column wavefront).
+/// `bytes_per_hop` is the work that must complete per hop before the
+/// dependent block can observe the flag: the full tile service for the
+/// coupled 1R1W-SKSS pipeline, or 0 for the decoupled look-back variant
+/// where a hop is just a flag publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    /// Longest chain of flag-ordered cross-block dependencies.
+    pub hops: u64,
+    /// Bytes of memory work serialized per hop (0 if decoupled).
+    pub bytes_per_hop: u64,
+}
+
+impl CriticalPath {
+    /// No cross-block serialization (classic bulk-synchronous kernel).
+    pub const NONE: CriticalPath = CriticalPath { hops: 0, bytes_per_hop: 0 };
+}
+
+/// Immutable record of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelMetrics {
+    /// Kernel label for reports (e.g. `"skss_lb"`).
+    pub label: String,
+    /// Number of blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block declared at launch.
+    pub threads_per_block: usize,
+    /// Aggregated counters over all blocks.
+    pub stats: BlockStats,
+    /// Declared serialization structure.
+    pub critical_path: CriticalPath,
+    /// Declared per-thread memory-level parallelism (see
+    /// `LaunchConfig::ilp`).
+    pub ilp: usize,
+    /// Host wall-clock duration of the simulated execution, seconds.
+    pub host_seconds: f64,
+}
+
+impl KernelMetrics {
+    /// Threads the launch put in flight (`blocks * threads_per_block`),
+    /// the "threads" column of Table I.
+    pub fn threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+}
+
+/// Metrics of a complete algorithm run: one entry per kernel call.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Per-launch records in execution order.
+    pub kernels: Vec<KernelMetrics>,
+}
+
+impl RunMetrics {
+    /// Record one kernel launch.
+    pub fn push(&mut self, k: KernelMetrics) {
+        self.kernels.push(k);
+    }
+
+    /// Total number of kernel calls, the "kernel calls" column of Table I.
+    pub fn kernel_calls(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Maximum threads over all kernel calls, the "threads" column of
+    /// Table I.
+    pub fn max_threads(&self) -> usize {
+        self.kernels.iter().map(|k| k.threads()).max().unwrap_or(0)
+    }
+
+    /// Total global-memory element reads, the "global memory reads" column
+    /// of Table I.
+    pub fn total_reads(&self) -> u64 {
+        self.kernels.iter().map(|k| k.stats.global_reads).sum()
+    }
+
+    /// Total global-memory element writes, the "global memory writes"
+    /// column of Table I.
+    pub fn total_writes(&self) -> u64 {
+        self.kernels.iter().map(|k| k.stats.global_writes).sum()
+    }
+
+    /// Total effective traffic in bytes (reads + writes).
+    pub fn total_bytes(&self) -> u64 {
+        self.kernels
+            .iter()
+            .map(|k| k.stats.bytes_read + k.stats.bytes_written)
+            .sum()
+    }
+
+    /// Aggregate counters over all kernels.
+    pub fn total_stats(&self) -> BlockStats {
+        let mut t = BlockStats::default();
+        for k in &self.kernels {
+            t.merge(&k.stats);
+        }
+        t
+    }
+
+    /// Total host wall-clock time of the simulated run.
+    pub fn host_seconds(&self) -> f64 {
+        self.kernels.iter().map(|k| k.host_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, writes: u64) -> BlockStats {
+        BlockStats {
+            global_reads: reads,
+            global_writes: writes,
+            bytes_read: reads * 4,
+            bytes_written: writes * 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = stats(10, 5);
+        a.barriers = 3;
+        let mut b = stats(1, 2);
+        b.barriers = 4;
+        a.merge(&b);
+        assert_eq!(a.global_reads, 11);
+        assert_eq!(a.global_writes, 7);
+        assert_eq!(a.bytes_read, 44);
+        assert_eq!(a.barriers, 7);
+    }
+
+    #[test]
+    fn accumulator_absorbs_many_blocks() {
+        let acc = KernelAccumulator::default();
+        for _ in 0..100 {
+            acc.absorb(&stats(7, 3));
+        }
+        let s = acc.snapshot();
+        assert_eq!(s.global_reads, 700);
+        assert_eq!(s.global_writes, 300);
+        assert_eq!(s.bytes_written, 1200);
+    }
+
+    #[test]
+    fn deterministic_masks_poll_iterations() {
+        let mut a = stats(1, 1);
+        a.flag_poll_iterations = 999;
+        let mut b = stats(1, 1);
+        b.flag_poll_iterations = 3;
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic(), b.deterministic());
+    }
+
+    #[test]
+    fn run_metrics_totals() {
+        let mut run = RunMetrics::default();
+        run.push(KernelMetrics {
+            label: "a".into(),
+            blocks: 4,
+            threads_per_block: 256,
+            stats: stats(100, 50),
+            critical_path: CriticalPath::NONE,
+            ilp: 1,
+            host_seconds: 0.0,
+        });
+        run.push(KernelMetrics {
+            label: "b".into(),
+            blocks: 16,
+            threads_per_block: 128,
+            stats: stats(10, 20),
+            critical_path: CriticalPath::NONE,
+            ilp: 1,
+            host_seconds: 0.0,
+        });
+        assert_eq!(run.kernel_calls(), 2);
+        assert_eq!(run.max_threads(), 16 * 128);
+        assert_eq!(run.total_reads(), 110);
+        assert_eq!(run.total_writes(), 70);
+        assert_eq!(run.total_bytes(), (110 + 70) * 4);
+    }
+
+    #[test]
+    fn critical_path_none_is_zero() {
+        assert_eq!(CriticalPath::NONE.hops, 0);
+        assert_eq!(CriticalPath::NONE.bytes_per_hop, 0);
+    }
+}

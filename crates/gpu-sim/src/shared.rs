@@ -1,0 +1,429 @@
+//! Simulated per-block shared memory: square tiles with bank-conflict
+//! accounting and the paper's *diagonal arrangement* (Section II, Fig. 3).
+//!
+//! Shared memory is private to a block, so a [`SharedTile`] is plain data
+//! owned by the block's closure — no atomics needed. What the simulator
+//! adds is *accounting*: every access pattern is charged shared-memory
+//! cycles, and column-wise warp accesses on a row-major tile are charged
+//! the 32-way bank conflict a real GPU would serialize.
+//!
+//! The diagonal arrangement stores element `(i, j)` of a `W x W` tile at
+//! offset `i*W + (i+j) mod W`. For `W` a multiple of the warp width this
+//! makes both row-wise and column-wise warp accesses conflict-free, which
+//! is what lets the shared-memory SAT algorithm run its row pass and its
+//! column pass at full speed.
+
+use crate::device::WARP;
+use crate::elem::DeviceElem;
+use crate::launch::BlockCtx;
+
+/// Physical layout of a tile in shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrangement {
+    /// `(i, j)` at offset `i*W + j`. Row accesses are conflict-free;
+    /// column accesses by a warp all hit the same bank when `W` is a
+    /// multiple of the warp width.
+    RowMajor,
+    /// `(i, j)` at offset `i*W + (i+j) mod W` (paper Fig. 3). Both row and
+    /// column accesses are conflict-free for `W` a multiple of the warp
+    /// width.
+    Diagonal,
+}
+
+/// A `W x W` tile resident in the calling block's shared memory.
+pub struct SharedTile<T: DeviceElem> {
+    w: usize,
+    arrangement: Arrangement,
+    data: Vec<T>,
+    row_conflict: u64,
+    col_conflict: u64,
+}
+
+impl<T: DeviceElem> SharedTile<T> {
+    /// Allocate a `w x w` tile. Panics if the tile exceeds the device's
+    /// shared memory capacity per block — the same hard limit that caps
+    /// the paper's `W` at 128 for 4-byte floats on TITAN V.
+    pub fn alloc(ctx: &BlockCtx, w: usize, arrangement: Arrangement) -> Self {
+        let bytes = w * w * T::BYTES as usize;
+        assert!(
+            bytes <= ctx.config().shared_mem_per_block,
+            "tile {w}x{w} ({bytes} B) exceeds shared memory capacity ({} B)",
+            ctx.config().shared_mem_per_block
+        );
+        let mut tile = SharedTile {
+            w,
+            arrangement,
+            data: vec![T::zero(); w * w],
+            row_conflict: 1,
+            col_conflict: 1,
+        };
+        tile.row_conflict = tile.measure_conflict(true);
+        tile.col_conflict = tile.measure_conflict(false);
+        tile
+    }
+
+    /// Tile width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The tile's layout.
+    pub fn arrangement(&self) -> Arrangement {
+        self.arrangement
+    }
+
+    /// Physical offset of logical element `(i, j)`.
+    #[inline(always)]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        match self.arrangement {
+            Arrangement::RowMajor => i * self.w + j,
+            Arrangement::Diagonal => i * self.w + (i + j) % self.w,
+        }
+    }
+
+    /// Degree of the worst bank conflict of one warp access along a row
+    /// (`along_row = true`) or a column, measured by dealing the first
+    /// warp's offsets into banks. A result of 1 means conflict-free.
+    fn measure_conflict(&self, along_row: bool) -> u64 {
+        let lanes = WARP.min(self.w);
+        let mut counts = [0u64; WARP];
+        for lane in 0..lanes {
+            let off = if along_row { self.offset(0, lane) } else { self.offset(lane, 0) };
+            counts[off % WARP] += 1;
+        }
+        counts.iter().copied().max().unwrap_or(1).max(1)
+    }
+
+    /// Conflict degree of a row-wise warp access.
+    pub fn row_conflict_degree(&self) -> u64 {
+        self.row_conflict
+    }
+
+    /// Conflict degree of a column-wise warp access.
+    pub fn col_conflict_degree(&self) -> u64 {
+        self.col_conflict
+    }
+
+    /// Charge `elems` shared accesses performed with warp accesses of the
+    /// given conflict degree.
+    #[inline]
+    fn account(ctx: &mut BlockCtx, elems: u64, degree: u64) {
+        ctx.stats.shared_accesses += elems;
+        // Each warp access of `degree`-way conflict serializes into
+        // `degree` cycles; charge the extra `degree - 1` per warp.
+        let warps = elems.div_ceil(WARP as u64);
+        ctx.stats.bank_conflict_cycles += warps * (degree - 1);
+    }
+
+    /// Scalar read (accounted, assumed conflict-free).
+    #[inline]
+    pub fn get(&self, ctx: &mut BlockCtx, i: usize, j: usize) -> T {
+        ctx.stats.shared_accesses += 1;
+        self.data[self.offset(i, j)]
+    }
+
+    /// Scalar write (accounted, assumed conflict-free).
+    #[inline]
+    pub fn set(&mut self, ctx: &mut BlockCtx, i: usize, j: usize, v: T) {
+        ctx.stats.shared_accesses += 1;
+        let off = self.offset(i, j);
+        self.data[off] = v;
+    }
+
+    /// Unaccounted read for assertions in tests.
+    pub fn peek(&self, i: usize, j: usize) -> T {
+        self.data[self.offset(i, j)]
+    }
+
+    /// Copy row `i` into `dst` (row-wise warp access).
+    pub fn copy_row_into(&self, ctx: &mut BlockCtx, i: usize, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.w);
+        Self::account(ctx, self.w as u64, self.row_conflict);
+        for j in 0..self.w {
+            dst[j] = self.data[self.offset(i, j)];
+        }
+    }
+
+    /// Copy column `j` into `dst` (column-wise warp access).
+    pub fn copy_col_into(&self, ctx: &mut BlockCtx, j: usize, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.w);
+        Self::account(ctx, self.w as u64, self.col_conflict);
+        for i in 0..self.w {
+            dst[i] = self.data[self.offset(i, j)];
+        }
+    }
+
+    /// Overwrite row `i` from `src` (row-wise warp access).
+    pub fn write_row_from(&mut self, ctx: &mut BlockCtx, i: usize, src: &[T]) {
+        assert_eq!(src.len(), self.w);
+        Self::account(ctx, self.w as u64, self.row_conflict);
+        for j in 0..self.w {
+            let off = self.offset(i, j);
+            self.data[off] = src[j];
+        }
+    }
+
+    /// Overwrite column `j` from `src` (column-wise warp access).
+    pub fn write_col_from(&mut self, ctx: &mut BlockCtx, j: usize, src: &[T]) {
+        assert_eq!(src.len(), self.w);
+        Self::account(ctx, self.w as u64, self.col_conflict);
+        for i in 0..self.w {
+            let off = self.offset(i, j);
+            self.data[off] = src[i];
+        }
+    }
+
+    /// Add `src[j]` to every element of row `i` (used to fold a carried
+    /// top-row `GCS` into a tile).
+    pub fn add_to_row(&mut self, ctx: &mut BlockCtx, i: usize, src: &[T]) {
+        assert_eq!(src.len(), self.w);
+        Self::account(ctx, 2 * self.w as u64, self.row_conflict);
+        for j in 0..self.w {
+            let off = self.offset(i, j);
+            self.data[off] = self.data[off].add(src[j]);
+        }
+    }
+
+    /// Add `src[i]` to every element of column `j` (used to fold a carried
+    /// left-column `GRS` into a tile).
+    pub fn add_to_col(&mut self, ctx: &mut BlockCtx, j: usize, src: &[T]) {
+        assert_eq!(src.len(), self.w);
+        Self::account(ctx, 2 * self.w as u64, self.col_conflict);
+        for i in 0..self.w {
+            let off = self.offset(i, j);
+            self.data[off] = self.data[off].add(src[i]);
+        }
+    }
+
+    /// In-place row-wise inclusive prefix sums (paper's shared-memory SAT
+    /// Step 2: `W` threads, thread `i` scans row `i` sequentially). At each
+    /// time step the `W` threads touch one *column* of the tile, so the
+    /// access pattern is column-wise and the conflict degree is
+    /// [`SharedTile::col_conflict_degree`] — the reason the diagonal
+    /// arrangement exists.
+    pub fn scan_rows(&mut self, ctx: &mut BlockCtx) {
+        let elems = (self.w * (self.w - 1)) as u64;
+        // One read of the previous element plus one read-modify-write of
+        // the current element per step.
+        Self::account(ctx, 2 * elems, self.col_conflict);
+        for i in 0..self.w {
+            let mut acc = self.data[self.offset(i, 0)];
+            for j in 1..self.w {
+                let off = self.offset(i, j);
+                acc = acc.add(self.data[off]);
+                self.data[off] = acc;
+            }
+        }
+    }
+
+    /// In-place column-wise inclusive prefix sums (Step 3). The per-step
+    /// access pattern is row-wise.
+    pub fn scan_cols(&mut self, ctx: &mut BlockCtx) {
+        let elems = (self.w * (self.w - 1)) as u64;
+        Self::account(ctx, 2 * elems, self.row_conflict);
+        for j in 0..self.w {
+            let mut acc = self.data[self.offset(0, j)];
+            for i in 1..self.w {
+                let off = self.offset(i, j);
+                acc = acc.add(self.data[off]);
+                self.data[off] = acc;
+            }
+        }
+    }
+
+    /// Column sums of the tile (one pass of row-wise warp accesses).
+    pub fn col_sums(&self, ctx: &mut BlockCtx) -> Vec<T> {
+        Self::account(ctx, (self.w * self.w) as u64, self.row_conflict);
+        let mut sums = vec![T::zero(); self.w];
+        for i in 0..self.w {
+            for j in 0..self.w {
+                sums[j] = sums[j].add(self.data[self.offset(i, j)]);
+            }
+        }
+        sums
+    }
+
+    /// Row sums of the tile (one pass of row-wise warp accesses, each
+    /// thread reducing its own row).
+    pub fn row_sums(&self, ctx: &mut BlockCtx) -> Vec<T> {
+        Self::account(ctx, (self.w * self.w) as u64, self.col_conflict);
+        let mut sums = vec![T::zero(); self.w];
+        for i in 0..self.w {
+            for j in 0..self.w {
+                sums[i] = sums[i].add(self.data[self.offset(i, j)]);
+            }
+        }
+        sums
+    }
+}
+
+impl<T: DeviceElem> std::fmt::Debug for SharedTile<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedTile<{}>({}x{}, {:?})", std::any::type_name::<T>(), self.w, self.w, self.arrangement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::launch::{ExecMode, Gpu, LaunchConfig};
+
+    fn with_ctx(f: impl Fn(&mut BlockCtx) + Sync) {
+        let gpu = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Sequential);
+        gpu.launch(LaunchConfig::new("test", 1, 32), f);
+    }
+
+    #[test]
+    fn diagonal_is_conflict_free_both_ways() {
+        with_ctx(|ctx| {
+            for w in [32usize, 64, 128] {
+                let t = SharedTile::<u32>::alloc(ctx, w, Arrangement::Diagonal);
+                assert_eq!(t.row_conflict_degree(), 1, "w={w} row");
+                assert_eq!(t.col_conflict_degree(), 1, "w={w} col");
+            }
+        });
+    }
+
+    #[test]
+    fn row_major_columns_conflict() {
+        with_ctx(|ctx| {
+            for w in [32usize, 64, 128] {
+                let t = SharedTile::<u32>::alloc(ctx, w, Arrangement::RowMajor);
+                assert_eq!(t.row_conflict_degree(), 1, "w={w} row");
+                assert_eq!(t.col_conflict_degree(), 32, "w={w} col");
+            }
+        });
+    }
+
+    #[test]
+    fn fig3_diagonal_arrangement_w4() {
+        // The paper's Figure 3 example: with w = 4, a[i][j] sits at offset
+        // i*w + (i+j) mod w. Verify the permutation row by row.
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
+            for i in 0..4 {
+                for j in 0..4 {
+                    t.set(ctx, i, j, (10 * i + j) as u32);
+                }
+            }
+            // Row 1 is stored rotated by one: offsets 4..8 hold
+            // a[1][3], a[1][0], a[1][1], a[1][2].
+            assert_eq!(t.peek(1, 0), 10);
+            assert_eq!(t.peek(1, 3), 13);
+            // Logical view is unchanged by the physical rotation.
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(t.peek(i, j), (10 * i + j) as u32);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn get_set_roundtrip_both_arrangements() {
+        with_ctx(|ctx| {
+            for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+                let mut t = SharedTile::<i64>::alloc(ctx, 32, arr);
+                for i in 0..32 {
+                    for j in 0..32 {
+                        t.set(ctx, i, j, (i * 100 + j) as i64);
+                    }
+                }
+                for i in 0..32 {
+                    for j in 0..32 {
+                        assert_eq!(t.get(ctx, i, j), (i * 100 + j) as i64);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scan_rows_then_cols_is_a_sat() {
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
+            for i in 0..4 {
+                for j in 0..4 {
+                    t.set(ctx, i, j, 1);
+                }
+            }
+            t.scan_rows(ctx);
+            t.scan_cols(ctx);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(t.peek(i, j), ((i + 1) * (j + 1)) as u32);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn row_and_col_copies() {
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 32, Arrangement::Diagonal);
+            let vals: Vec<u32> = (0..32).collect();
+            t.write_row_from(ctx, 3, &vals);
+            let mut row = vec![0u32; 32];
+            t.copy_row_into(ctx, 3, &mut row);
+            assert_eq!(row, vals);
+
+            t.write_col_from(ctx, 5, &vals);
+            let mut col = vec![0u32; 32];
+            t.copy_col_into(ctx, 5, &mut col);
+            assert_eq!(col, vals);
+        });
+    }
+
+    #[test]
+    fn add_to_col_and_row() {
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
+            let ones = vec![1u32; 4];
+            t.add_to_col(ctx, 0, &ones);
+            t.add_to_row(ctx, 0, &ones);
+            assert_eq!(t.peek(0, 0), 2);
+            assert_eq!(t.peek(1, 0), 1);
+            assert_eq!(t.peek(0, 1), 1);
+            assert_eq!(t.peek(1, 1), 0);
+        });
+    }
+
+    #[test]
+    fn sums() {
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::RowMajor);
+            for i in 0..4 {
+                for j in 0..4 {
+                    t.set(ctx, i, j, (i + 1) as u32);
+                }
+            }
+            assert_eq!(t.col_sums(ctx), vec![10; 4]);
+            assert_eq!(t.row_sums(ctx), vec![4, 8, 12, 16]);
+        });
+    }
+
+    #[test]
+    fn conflict_cycles_are_charged() {
+        let gpu = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Sequential);
+        let row_major = gpu.launch(LaunchConfig::new("rm", 1, 32), |ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 32, Arrangement::RowMajor);
+            t.scan_rows(ctx); // column-wise pattern -> conflicts
+        });
+        let diagonal = gpu.launch(LaunchConfig::new("dg", 1, 32), |ctx| {
+            let mut t = SharedTile::<u32>::alloc(ctx, 32, Arrangement::Diagonal);
+            t.scan_rows(ctx);
+        });
+        assert!(row_major.stats.bank_conflict_cycles > 0);
+        assert_eq!(diagonal.stats.bank_conflict_cycles, 0);
+        assert_eq!(row_major.stats.shared_accesses, diagonal.stats.shared_accesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds shared memory")]
+    fn oversized_tile_panics() {
+        with_ctx(|ctx| {
+            let _ = SharedTile::<f64>::alloc(ctx, 1024, Arrangement::RowMajor);
+        });
+    }
+}

@@ -1,0 +1,313 @@
+//! Inter-block soft synchronization — the SKSS building blocks.
+//!
+//! CUDA gives blocks of one kernel no synchronization primitive, so the
+//! paper builds its own out of global memory:
+//!
+//! * a **global counter** bumped with `atomicAdd` hands out *virtual block
+//!   IDs* in dispatch order ([`DeviceCounter`]), making the algorithm
+//!   independent of how the hardware scheduler assigns blocks to SMs;
+//! * arrays of **status flags** written after data is published
+//!   ([`StatusBoard`]) let later blocks spin until a predecessor's partial
+//!   result is visible (the `R`/`C` arrays of Section IV).
+//!
+//! Here the flags are real `AtomicU8`s: publication is a `Release` store,
+//! polling is an `Acquire` load, so a block that observes a flag value also
+//! observes every (relaxed) global-memory write the publisher performed
+//! before it — exactly the guarantee the CUDA `__threadfence()` +
+//! flag-write idiom provides on hardware.
+//!
+//! Deadlock discipline: a block may wait only on flags owned by blocks
+//! with *smaller virtual IDs*. Because [`DeviceCounter`] hands IDs out in
+//! execution order, every awaited block is already finished or resident,
+//! so the wait terminates under any dispatch order and any residency
+//! bound — including fully sequential execution, where a wait that would
+//! block even once is reported as a deadlock instead of spinning forever.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use crate::launch::BlockCtx;
+use crate::trace::EventKind;
+
+/// Spin iterations after which a concurrent wait panics. A correct SAT
+/// algorithm on matrices of any size we run completes each wait within a
+/// few thousand polls; a billion spins means a lost producer.
+const DEADLOCK_LIMIT: u64 = 1_000_000_000;
+
+/// A global-memory counter for `atomicAdd`-based virtual block IDs
+/// (paper Sections III-C and IV).
+#[derive(Debug, Default)]
+pub struct DeviceCounter {
+    value: AtomicU32,
+}
+
+impl DeviceCounter {
+    /// A fresh counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `atomicAdd(&c, 1)`: returns the pre-increment value. No two calls
+    /// return the same value; values appear in execution order.
+    pub fn next(&self, ctx: &mut BlockCtx) -> u32 {
+        ctx.stats.atomic_ops += 1;
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Host-side reset so a counter can be reused across launches.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// Host-side peek (not accounted).
+    pub fn peek(&self) -> u32 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An array of monotone status flags in global memory, one `u8` per tile
+/// (the paper's `R[I][J]` / `C[I][J]` arrays: `2 * n^2/W^2` 8-bit integers
+/// in total for SKSS-LB).
+///
+/// Flags must only ever increase; publication with a smaller value than
+/// already present is a logic error (debug-asserted).
+#[derive(Debug)]
+pub struct StatusBoard {
+    flags: Box<[AtomicU8]>,
+}
+
+impl StatusBoard {
+    /// `len` flags, all zero.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, AtomicU8::default);
+        StatusBoard { flags: v.into_boxed_slice() }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Publish status `v` for slot `i` with `Release` ordering: all global
+    /// writes performed by this block before the call become visible to
+    /// any block that observes the flag.
+    pub fn publish(&self, ctx: &mut BlockCtx, i: usize, v: u8) {
+        ctx.stats.flag_publishes += 1;
+        ctx.trace(EventKind::FlagPublished { slot: i, value: v });
+        debug_assert!(
+            self.flags[i].load(Ordering::Relaxed) <= v,
+            "status flags are monotone: slot {i} would go from {} to {v}",
+            self.flags[i].load(Ordering::Relaxed),
+        );
+        self.flags[i].store(v, Ordering::Release);
+    }
+
+    /// One `Acquire` poll of slot `i` without waiting (the look-back reads
+    /// the predecessor's status once per step and branches on the value).
+    pub fn load(&self, ctx: &mut BlockCtx, i: usize) -> u8 {
+        ctx.stats.flag_poll_iterations += 1;
+        self.flags[i].load(Ordering::Acquire)
+    }
+
+    /// Spin until slot `i` holds at least `min`, returning the observed
+    /// value ("repeatedly read `R[I][J-1]` until it becomes 1 or larger").
+    ///
+    /// In sequential execution a wait that is not already satisfied can
+    /// never be satisfied, so it panics with a deadlock diagnostic — this
+    /// turns ordering bugs in soft-synchronized algorithms into crisp test
+    /// failures instead of hangs.
+    pub fn wait_at_least(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
+        ctx.stats.flag_waits += 1;
+        let mut iters: u64 = 0;
+        loop {
+            iters += 1;
+            let v = self.flags[i].load(Ordering::Acquire);
+            if v >= min {
+                ctx.stats.flag_poll_iterations += iters;
+                ctx.trace(EventKind::FlagWaited { slot: i, seen: v });
+                return v;
+            }
+            if ctx.is_sequential() {
+                panic!(
+                    "soft-sync deadlock: block {} waits for flag[{i}] >= {min} \
+                     (currently {v}) under sequential execution — the producer \
+                     has not run, so the wait can never complete",
+                    ctx.block_idx()
+                );
+            }
+            if iters >= DEADLOCK_LIMIT {
+                panic!(
+                    "soft-sync deadlock: block {} spun {iters} times on flag[{i}] >= {min}",
+                    ctx.block_idx()
+                );
+            }
+            // Let the producer's OS thread run; essential on few-core hosts.
+            if iters % 16 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Host-side read (not accounted), for assertions.
+    pub fn peek(&self, i: usize) -> u8 {
+        self.flags[i].load(Ordering::Relaxed)
+    }
+
+    /// Host-side reset of every flag to zero.
+    pub fn clear(&self) {
+        for f in self.flags.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::global::GlobalBuffer;
+    use crate::launch::{DispatchOrder, ExecMode, Gpu, LaunchConfig};
+
+    #[test]
+    fn counter_hands_out_unique_ids() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let c = DeviceCounter::new();
+        let seen = GlobalBuffer::<u32>::zeroed(64);
+        gpu.launch(LaunchConfig::new("ids", 64, 32), |ctx| {
+            let id = c.next(ctx);
+            seen.atomic_add(ctx, id as usize, 1);
+        });
+        assert_eq!(c.peek(), 64);
+        assert!(seen.to_vec().iter().all(|&v| v == 1), "each id claimed exactly once");
+    }
+
+    #[test]
+    fn publish_then_wait_transfers_data() {
+        // Producer block writes data with relaxed stores, then publishes a
+        // flag; consumer waits on the flag and must observe the data.
+        // Virtual IDs order the two roles regardless of dispatch order.
+        for dispatch in [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(7)] {
+            let gpu = Gpu::new(DeviceConfig::tiny())
+                .with_mode(ExecMode::Concurrent)
+                .with_dispatch(dispatch);
+            let counter = DeviceCounter::new();
+            let board = StatusBoard::new(1);
+            let data = GlobalBuffer::<u32>::zeroed(4);
+            let got = GlobalBuffer::<u32>::zeroed(4);
+            gpu.launch(LaunchConfig::new("pubsub", 2, 32), |ctx| {
+                let vid = counter.next(ctx);
+                if vid == 0 {
+                    for k in 0..4 {
+                        data.write(ctx, k, 100 + k as u32);
+                    }
+                    board.publish(ctx, 0, 1);
+                } else {
+                    board.wait_at_least(ctx, 0, 1);
+                    for k in 0..4 {
+                        let v = data.read(ctx, k);
+                        got.write(ctx, k, v);
+                    }
+                }
+            });
+            assert_eq!(got.to_vec(), vec![100, 101, 102, 103], "{dispatch:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_wait_on_satisfied_flag_succeeds() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+        let counter = DeviceCounter::new();
+        let board = StatusBoard::new(1);
+        let m = gpu.launch(LaunchConfig::new("seq", 2, 32), |ctx| {
+            let vid = counter.next(ctx);
+            if vid == 0 {
+                board.publish(ctx, 0, 2);
+            } else {
+                let v = board.wait_at_least(ctx, 0, 1);
+                assert_eq!(v, 2, "wait returns the observed value, not the minimum");
+            }
+        });
+        assert_eq!(m.stats.flag_publishes, 1);
+        assert_eq!(m.stats.flag_waits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "soft-sync deadlock")]
+    fn sequential_wait_on_future_flag_is_a_deadlock() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+        let counter = DeviceCounter::new();
+        let board = StatusBoard::new(1);
+        gpu.launch(LaunchConfig::new("dead", 2, 32), |ctx| {
+            let vid = counter.next(ctx);
+            if vid == 0 {
+                // Waits on a flag only the *second* block publishes:
+                // violates the smaller-virtual-ID discipline.
+                board.wait_at_least(ctx, 0, 1);
+            } else {
+                board.publish(ctx, 0, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn flags_are_monotone() {
+        let board = StatusBoard::new(8);
+        assert_eq!(board.peek(3), 0);
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+        gpu.launch(LaunchConfig::new("mono", 1, 32), |ctx| {
+            board.publish(ctx, 3, 1);
+            board.publish(ctx, 3, 4);
+            assert_eq!(board.load(ctx, 3), 4);
+        });
+        board.clear();
+        assert_eq!(board.peek(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn decreasing_flag_is_rejected_in_debug() {
+        // Failure injection: publishing a smaller status than already
+        // present violates the monotonicity the look-back proof needs;
+        // debug builds must catch it at the publication site.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let board = StatusBoard::new(1);
+        gpu.launch(LaunchConfig::new("mono-violation", 1, 32), |ctx| {
+            board.publish(ctx, 0, 3);
+            board.publish(ctx, 0, 1);
+        });
+    }
+
+    #[test]
+    fn chain_of_dependent_blocks_completes_concurrently() {
+        // Block with virtual id k waits for flag k-1, then publishes flag
+        // k: a maximal dependency chain. Must complete with any worker
+        // count and any dispatch order.
+        let n = 40;
+        let gpu = Gpu::new(DeviceConfig::tiny())
+            .with_mode(ExecMode::Concurrent)
+            .with_dispatch(DispatchOrder::Random(99));
+        let counter = DeviceCounter::new();
+        let board = StatusBoard::new(n);
+        let order = GlobalBuffer::<u32>::zeroed(n);
+        gpu.launch(LaunchConfig::new("chain", n, 32), |ctx| {
+            let vid = counter.next(ctx) as usize;
+            if vid > 0 {
+                board.wait_at_least(ctx, vid - 1, 1);
+                let prev = order.read(ctx, vid - 1);
+                order.write(ctx, vid, prev + 1);
+            } else {
+                order.write(ctx, 0, 1);
+            }
+            board.publish(ctx, vid, 1);
+        });
+        let o = order.to_vec();
+        assert_eq!(o[n - 1], n as u32, "chain carried a value through all blocks: {o:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The analytical timing model: measured counters -> modeled milliseconds.
+//!
+//! Table III of the paper reports wall-clock kernel times on a TITAN V.
+//! We cannot reproduce absolute times on a CPU host, but the *drivers* of
+//! those times are quantities this simulator measures exactly:
+//!
+//! * effective global-memory traffic (coalesced vs. strided bytes),
+//! * parallelism (resident threads -> achievable bandwidth; the paper's
+//!   low/medium/high parallelism classes in Table I),
+//! * the number of kernel launches (each pays a fixed host overhead, the
+//!   reason 1R1W with its `2n/W - 1` launches loses to SKSS),
+//! * shared-memory cycles including bank conflicts,
+//! * cross-block serialization (the coupled column pipeline of 1R1W-SKSS
+//!   vs. the decoupled look-back of the paper's algorithm).
+//!
+//! The model is a per-kernel formula with overlapping (max) and
+//! non-overlapping (additive) terms:
+//!
+//! ```text
+//! t = launch_overhead
+//!   + max( traffic_bytes / effective_bandwidth(threads),
+//!          shared_cycles / (active_SMs * clock) )
+//!   + hops * (flag_latency + bytes_per_hop / per_block_bandwidth)
+//! ```
+//!
+//! Traffic and shared-memory work overlap (they run on different
+//! pipelines at steady state), but the critical-path term is pipeline
+//! *fill*: time during which the device is not yet fully parallel, paid on
+//! top of the steady-state throughput terms.
+//!
+//! Constants are calibrated once against the paper's `cudaMemcpy` row
+//! (see `DeviceConfig::titan_v`), never against per-algorithm rows; the
+//! algorithm rows are then *predictions* whose shape EXPERIMENTS.md
+//! compares with the paper.
+
+use crate::device::{DeviceConfig, WARP};
+use crate::metrics::{KernelMetrics, RunMetrics};
+
+/// Per-term breakdown of one kernel's modeled time, for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTime {
+    /// Fixed launch overhead, seconds.
+    pub launch: f64,
+    /// Global-memory traffic term, seconds.
+    pub traffic: f64,
+    /// Shared-memory (incl. bank conflict) term, seconds.
+    pub shared: f64,
+    /// Cross-block serialization term, seconds.
+    pub critical_path: f64,
+    /// Straggler drain: one block's share of the kernel's traffic at
+    /// per-block bandwidth — the tail during which the last resident
+    /// block runs alone before the kernel-wide barrier can release.
+    /// Negligible for many-block kernels, decisive for the `2n/W - 1`
+    /// small launches of 1R1W.
+    pub drain: f64,
+}
+
+impl KernelTime {
+    /// Total modeled seconds for the kernel.
+    pub fn total(&self) -> f64 {
+        self.launch + self.traffic.max(self.shared) + self.critical_path + self.drain
+    }
+}
+
+/// Model one kernel launch.
+pub fn kernel_time(cfg: &DeviceConfig, k: &KernelMetrics) -> KernelTime {
+    let bytes = k.stats.bytes_read + k.stats.bytes_written;
+    // Bandwidth is earned by memory requests in flight: threads times the
+    // declared per-thread memory-level parallelism.
+    let traffic = cfg.traffic_seconds(k.threads().saturating_mul(k.ilp.max(1)), bytes);
+
+    let active_sms = k.blocks.clamp(1, cfg.sm_count) as f64;
+    let shared_cycles =
+        (k.stats.shared_accesses / WARP as u64 + k.stats.bank_conflict_cycles) as f64;
+    let shared = shared_cycles / (active_sms * cfg.core_clock_hz);
+
+    let cp = k.critical_path;
+    let critical_path =
+        cp.hops as f64 * (cfg.flag_latency + cp.bytes_per_hop as f64 / cfg.per_block_bandwidth);
+
+    let drain = if k.blocks > 0 {
+        (bytes as f64 / k.blocks as f64) / cfg.per_block_bandwidth
+    } else {
+        0.0
+    };
+
+    KernelTime { launch: cfg.kernel_launch_overhead, traffic, shared, critical_path, drain }
+}
+
+/// Model a full run (sum over its kernel launches), in seconds.
+pub fn run_seconds(cfg: &DeviceConfig, run: &RunMetrics) -> f64 {
+    run.kernels.iter().map(|k| kernel_time(cfg, k).total()).sum()
+}
+
+/// Model a full run in milliseconds (the unit of Table III).
+pub fn run_millis(cfg: &DeviceConfig, run: &RunMetrics) -> f64 {
+    run_seconds(cfg, run) * 1e3
+}
+
+/// Overhead of a run over a baseline run, in percent — Table III's
+/// `(min(T) - D) / D * 100` with respect to matrix duplication.
+pub fn overhead_percent(run_ms: f64, baseline_ms: f64) -> f64 {
+    (run_ms - baseline_ms) / baseline_ms * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{BlockStats, CriticalPath};
+
+    fn kernel(blocks: usize, tpb: usize, bytes: u64) -> KernelMetrics {
+        KernelMetrics {
+            label: "k".into(),
+            blocks,
+            threads_per_block: tpb,
+            stats: BlockStats {
+                global_reads: bytes / 8,
+                global_writes: bytes / 8,
+                bytes_read: bytes / 2,
+                bytes_written: bytes / 2,
+                ..Default::default()
+            },
+            critical_path: CriticalPath::NONE,
+            ilp: 1,
+            host_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn more_threads_is_never_slower() {
+        let cfg = DeviceConfig::titan_v();
+        let slow = kernel_time(&cfg, &kernel(2, 1024, 1 << 24)).total();
+        let fast = kernel_time(&cfg, &kernel(1024, 1024, 1 << 24)).total();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let cfg = DeviceConfig::titan_v();
+        let t = kernel_time(&cfg, &kernel(1, 32, 128));
+        assert!(t.launch > t.traffic);
+        assert!(t.total() < 2.0 * cfg.kernel_launch_overhead);
+    }
+
+    #[test]
+    fn critical_path_lower_bounds_coupled_kernels() {
+        let cfg = DeviceConfig::titan_v();
+        let mut k = kernel(2048, 1024, 1 << 20);
+        k.critical_path = CriticalPath { hops: 1000, bytes_per_hop: 1 << 16 };
+        let t = kernel_time(&cfg, &k);
+        let per_hop = cfg.flag_latency + (1u64 << 16) as f64 / cfg.per_block_bandwidth;
+        assert!((t.critical_path - 1000.0 * per_hop).abs() < 1e-12);
+        assert!(t.total() >= t.critical_path);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_the_shared_term() {
+        let cfg = DeviceConfig::titan_v();
+        let mut clean = kernel(80, 1024, 0);
+        clean.stats.shared_accesses = 1 << 26;
+        let mut conflicted = clean.clone();
+        conflicted.stats.bank_conflict_cycles = 31 * ((1u64 << 26) / 32);
+        let a = kernel_time(&cfg, &clean);
+        let b = kernel_time(&cfg, &conflicted);
+        assert!(b.shared > 10.0 * a.shared, "32-way conflicts serialize warp accesses");
+    }
+
+    /// Calibration against the paper's `cudaMemcpy` row of Table III:
+    /// duplication of an n x n float matrix moves `2 * n^2 * 4` bytes at
+    /// full occupancy. Modeled times must be within 15% of the paper's
+    /// measurements — this anchors every other prediction.
+    #[test]
+    fn duplication_calibration_matches_paper() {
+        let cfg = DeviceConfig::titan_v();
+        let paper = [
+            (256usize, 0.00512f64),
+            (512, 0.00614),
+            (1 << 10, 0.0165),
+            (1 << 11, 0.0645),
+            (1 << 12, 0.237),
+            (1 << 13, 0.927),
+            (1 << 14, 3.69),
+            (1 << 15, 14.7),
+        ];
+        for (n, paper_ms) in paper {
+            let elems = (n * n) as u64;
+            let blocks = (elems as usize).div_ceil(1024);
+            let mut k = kernel(blocks, 1024, 0);
+            k.stats.global_reads = elems;
+            k.stats.global_writes = elems;
+            k.stats.bytes_read = elems * 4;
+            k.stats.bytes_written = elems * 4;
+            let ms = kernel_time(&cfg, &k).total() * 1e3;
+            let err = (ms - paper_ms).abs() / paper_ms;
+            assert!(err < 0.15, "n={n}: modeled {ms:.5} ms vs paper {paper_ms} ms (err {:.1}%)", err * 100.0);
+        }
+    }
+
+    #[test]
+    fn overhead_percent_matches_definition() {
+        assert!((overhead_percent(2.0, 1.0) - 100.0).abs() < 1e-12);
+        assert!((overhead_percent(1.057, 1.0) - 5.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_time_sums_kernels() {
+        let cfg = DeviceConfig::titan_v();
+        let mut run = RunMetrics::default();
+        run.push(kernel(128, 1024, 1 << 20));
+        run.push(kernel(128, 1024, 1 << 20));
+        let single = kernel_time(&cfg, &run.kernels[0]).total();
+        assert!((run_seconds(&cfg, &run) - 2.0 * single).abs() < 1e-15);
+        assert!((run_millis(&cfg, &run) - 2000.0 * single).abs() < 1e-9);
+    }
+}

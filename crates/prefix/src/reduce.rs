@@ -1,0 +1,154 @@
+//! Device-wide reduction and exclusive scan — the remaining standard
+//! members of the scan family, built on the same decoupled machinery.
+
+use gpu_sim::prelude::*;
+
+use crate::device_scan::{device_inclusive_scan, ScanParams};
+
+/// Device-wide sum: a two-level tree (per-block partials via coalesced
+/// streaming + one finishing block), the textbook `DeviceReduce`.
+pub fn device_reduce<T: DeviceElem>(
+    gpu: &Gpu,
+    input: &GlobalBuffer<T>,
+    params: ScanParams,
+) -> (T, RunMetrics) {
+    let n = input.len();
+    let tile = params.tile_elems().max(1);
+    let tiles = n.div_ceil(tile).max(1);
+    let partials = GlobalBuffer::<T>::zeroed(tiles);
+    let mut run = RunMetrics::default();
+
+    // Kernel 1: one block per tile, each writes a partial sum.
+    run.push(gpu.launch(LaunchConfig::new("reduce_partials", tiles, params.threads_per_block), |ctx| {
+        let lo = ctx.block_idx() * tile;
+        let hi = ((ctx.block_idx() + 1) * tile).min(n);
+        let mut acc = T::zero();
+        if lo < hi {
+            let mut buf = vec![T::zero(); hi - lo];
+            input.load_row(ctx, lo, &mut buf);
+            for v in buf {
+                acc = acc.add(v);
+            }
+        }
+        partials.write(ctx, ctx.block_idx(), acc);
+    }));
+
+    // Kernel 2: one block folds the partials.
+    let result = GlobalBuffer::<T>::zeroed(1);
+    run.push(gpu.launch(LaunchConfig::new("reduce_final", 1, params.threads_per_block), |ctx| {
+        let mut buf = vec![T::zero(); tiles];
+        partials.load_row(ctx, 0, &mut buf);
+        let mut acc = T::zero();
+        for v in buf {
+            acc = acc.add(v);
+        }
+        result.write(ctx, 0, acc);
+    }));
+
+    (result.host_read(0), run)
+}
+
+/// Device-wide *exclusive* scan: the inclusive scan shifted right by one,
+/// materialized with a shift kernel so the output layout matches CUB's
+/// `ExclusiveSum`.
+pub fn device_exclusive_scan<T: DeviceElem>(
+    gpu: &Gpu,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    params: ScanParams,
+) -> RunMetrics {
+    let n = input.len();
+    assert_eq!(output.len(), n);
+    let mut run = RunMetrics::default();
+    if n == 0 {
+        return run;
+    }
+    let inclusive = GlobalBuffer::<T>::zeroed(n);
+    run.push(device_inclusive_scan(gpu, input, &inclusive, params));
+    let epb = params.threads_per_block.max(1);
+    let blocks = n.div_ceil(epb).max(1);
+    run.push(gpu.launch(LaunchConfig::new("shift_right", blocks, epb), |ctx| {
+        let lo = ctx.block_idx() * epb;
+        let hi = ((ctx.block_idx() + 1) * epb).min(n);
+        if lo >= hi {
+            return;
+        }
+        // Read [lo-1, hi-1) and write [lo, hi); element 0 gets the zero.
+        let start = lo.saturating_sub(1);
+        let mut buf = vec![T::zero(); hi - 1 - start];
+        inclusive.load_row(ctx, start, &mut buf);
+        if lo == 0 {
+            output.write(ctx, 0, T::zero());
+            output.store_row(ctx, 1, &buf);
+        } else {
+            output.store_row(ctx, lo, &buf);
+        }
+    }));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::tiny())
+    }
+
+    fn params() -> ScanParams {
+        ScanParams { threads_per_block: 32, items_per_thread: 2 }
+    }
+
+    #[test]
+    fn reduce_matches_sum() {
+        for n in [1usize, 63, 64, 65, 1000, 5000] {
+            let data: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
+            let input = GlobalBuffer::from_slice(&data);
+            let (got, run) = device_reduce(&gpu(), &input, params());
+            assert_eq!(got, data.iter().sum::<u64>(), "n={n}");
+            assert_eq!(run.kernel_calls(), 2);
+            assert!(run.total_reads() >= n as u64);
+        }
+    }
+
+    #[test]
+    fn reduce_concurrent() {
+        let gpu = gpu().with_mode(ExecMode::Concurrent).with_dispatch(DispatchOrder::Random(3));
+        let data: Vec<u64> = (0..4096).collect();
+        let input = GlobalBuffer::from_slice(&data);
+        let (got, _) = device_reduce(&gpu, &input, params());
+        assert_eq!(got, 4095 * 4096 / 2);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_reference() {
+        for n in [1usize, 2, 64, 65, 127, 128, 129, 3000] {
+            let data: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 50 + 1).collect();
+            let input = GlobalBuffer::from_slice(&data);
+            let output = GlobalBuffer::<u64>::zeroed(n);
+            device_exclusive_scan(&gpu(), &input, &output, params());
+            assert_eq!(output.to_vec(), seq::exclusive_scan(&data), "n={n}");
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_empty_is_noop() {
+        let input = GlobalBuffer::<u64>::zeroed(0);
+        let output = GlobalBuffer::<u64>::zeroed(0);
+        let run = device_exclusive_scan(&gpu(), &input, &output, params());
+        assert_eq!(run.kernel_calls(), 0);
+    }
+
+    #[test]
+    fn exclusive_scan_floats() {
+        let data: Vec<f64> = (0..500).map(|i| i as f64 * 0.5).collect();
+        let input = GlobalBuffer::from_slice(&data);
+        let output = GlobalBuffer::<f64>::zeroed(500);
+        device_exclusive_scan(&gpu(), &input, &output, params());
+        let expect = seq::exclusive_scan(&data);
+        for (a, b) in output.to_vec().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Text regenerations of the paper's illustrative figures: Fig. 2 (the
+//! 9x9 SAT example), Fig. 3 (diagonal arrangement), Fig. 4 (warp
+//! prefix-sum trace), and Fig. 9 (diagonal-major serial numbers).
+
+use gpu_sim::prelude::*;
+use satcore::alg::skss_lb::serial_number;
+use satcore::prelude::*;
+
+/// The 9x9 example matrix of Fig. 2.
+pub fn fig2_matrix() -> Matrix<u32> {
+    let vals: Vec<u32> = vec![
+        0, 0, 0, 1, 1, 1, 0, 0, 0, //
+        0, 0, 1, 1, 1, 1, 1, 0, 0, //
+        0, 1, 1, 1, 2, 1, 1, 1, 0, //
+        1, 1, 1, 2, 2, 2, 1, 1, 1, //
+        1, 1, 2, 2, 3, 2, 2, 1, 1, //
+        1, 1, 1, 2, 2, 2, 1, 1, 1, //
+        0, 1, 1, 1, 2, 1, 1, 1, 0, //
+        0, 0, 1, 1, 1, 1, 1, 0, 0, //
+        0, 0, 0, 1, 1, 1, 0, 0, 0,
+    ];
+    Matrix::from_vec(9, 9, vals)
+}
+
+fn grid_str<T: std::fmt::Display>(rows: usize, cols: usize, f: impl Fn(usize, usize) -> T) -> String {
+    let cells: Vec<Vec<String>> =
+        (0..rows).map(|i| (0..cols).map(|j| f(i, j).to_string()).collect()).collect();
+    let width = cells.iter().flatten().map(|s| s.len()).max().unwrap_or(1);
+    let mut out = String::new();
+    for row in cells {
+        for (k, c) in row.iter().enumerate() {
+            if k > 0 {
+                out.push(' ');
+            }
+            out.push_str(&" ".repeat(width - c.len()));
+            out.push_str(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 2: input, column-wise prefix sums, and the SAT.
+pub fn fig2() -> String {
+    let a = fig2_matrix();
+    let mut cols_only = a.as_slice().to_vec();
+    prefix::seq::col_scan_in_place(&mut cols_only, 9, 9);
+    let cols = Matrix::from_vec(9, 9, cols_only);
+    let sat = satcore::reference::sat(&a);
+    format!(
+        "Figure 2 — the SAT of a 9x9 matrix\n\ninput matrix:\n{}\ncolumn-wise prefix-sums:\n{}\nsummed area table (SAT):\n{}",
+        grid_str(9, 9, |i, j| a.get(i, j)),
+        grid_str(9, 9, |i, j| cols.get(i, j)),
+        grid_str(9, 9, |i, j| sat.get(i, j)),
+    )
+}
+
+/// Fig. 3: physical bank of each element of a `w x w` tile under the
+/// row-major and diagonal arrangements.
+pub fn fig3(w: usize) -> String {
+    let bank = |arr: Arrangement, i: usize, j: usize| match arr {
+        Arrangement::RowMajor => (i * w + j) % w.min(32),
+        Arrangement::Diagonal => (i * w + (i + j) % w) % w.min(32),
+    };
+    format!(
+        "Figure 3 — shared-memory banks for a {w}x{w} tile (bank = offset mod min(w,32))\n\nrow-major arrangement (columns conflict):\n{}\ndiagonal arrangement (conflict-free both ways):\n{}",
+        grid_str(w, w, |i, j| bank(Arrangement::RowMajor, i, j)),
+        grid_str(w, w, |i, j| bank(Arrangement::Diagonal, i, j)),
+    )
+}
+
+/// Fig. 4: the warp prefix-sum algorithm traced step by step on `w`
+/// lanes.
+pub fn fig4(w: usize) -> String {
+    assert!(w <= 32 && w.is_power_of_two());
+    let mut lanes: Vec<u64> = (1..=w as u64).collect();
+    let mut out = format!("Figure 4 — warp prefix-sum algorithm, w = {w}\n\nstep 0 (input):  {lanes:?}\n");
+    let mut d = 1;
+    let mut step = 1;
+    while d < w {
+        for i in (d..w).rev() {
+            lanes[i] += lanes[i - d];
+        }
+        out.push_str(&format!("step {step} (j = {}): {lanes:?}\n", step - 1));
+        d <<= 1;
+        step += 1;
+    }
+    out.push_str(&format!("\nlog2({w}) = {} steps; last lane holds the sum {}.\n", step - 1, lanes[w - 1]));
+    out
+}
+
+/// Fig. 9: diagonal-major serial numbers for an `t x t` tile grid.
+pub fn fig9(t: usize) -> String {
+    format!(
+        "Figure 9 — serial numbers assigned to tiles (diagonal-major), n/W = {t}\n\n{}",
+        grid_str(t, t, |i, j| serial_number(i, j, t))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_total_is_71() {
+        let s = fig2();
+        assert!(s.ends_with("71\n") || s.contains(" 71\n"), "{s}");
+    }
+
+    #[test]
+    fn fig3_diagonal_banks_distinct_per_column() {
+        let s = fig3(4);
+        assert!(s.contains("diagonal arrangement"));
+    }
+
+    #[test]
+    fn fig4_matches_paper_step_count() {
+        let s = fig4(8);
+        assert!(s.contains("log2(8) = 3 steps"));
+        assert!(s.contains("sum 36"));
+    }
+
+    #[test]
+    fn fig9_matches_paper() {
+        let s = fig9(5);
+        // Bottom row of the paper's figure: 14 18 21 23 24.
+        assert!(s.contains("14 18 21 23 24"));
+    }
+}

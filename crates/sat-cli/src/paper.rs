@@ -1,0 +1,170 @@
+//! The published numbers of the paper's Table III, embedded for
+//! side-by-side comparison in reports and EXPERIMENTS.md.
+
+/// Matrix sizes of Table III: 256 .. 32K.
+pub const SIZES: [usize; 8] = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+/// Tile widths evaluated in Table III.
+pub const TILE_WIDTHS: [usize; 3] = [32, 64, 128];
+
+/// One algorithm's published row set: milliseconds per size, per tile
+/// width where applicable.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Row label as printed in the paper.
+    pub name: &'static str,
+    /// `times[wi][si]` in milliseconds; algorithms without a `W` parameter
+    /// store their single series in `times\[0\]`.
+    pub times: [[f64; 8]; 3],
+    /// Whether the row is parameterized by `W`.
+    pub tiled: bool,
+}
+
+impl PaperRow {
+    /// Best published time over the evaluated tile widths for size index
+    /// `si` — the highlighted entry of Table III.
+    pub fn best_ms(&self, si: usize) -> f64 {
+        if self.tiled {
+            self.times.iter().map(|w| w[si]).fold(f64::INFINITY, f64::min)
+        } else {
+            self.times[0][si]
+        }
+    }
+}
+
+/// The paper's `cudaMemcpy` duplication row.
+pub const DUPLICATION: PaperRow = PaperRow {
+    name: "matrix duplication",
+    times: [
+        [0.00512, 0.00614, 0.0165, 0.0645, 0.237, 0.927, 3.69, 14.7],
+        [0.0; 8],
+        [0.0; 8],
+    ],
+    tiled: false,
+};
+
+/// All seven algorithm rows of Table III, in the paper's order.
+pub const ALGORITHMS: [PaperRow; 7] = [
+    PaperRow {
+        name: "2R2W",
+        times: [
+            [0.0901, 0.167, 0.338, 1.01, 2.57, 8.47, 24.4, 87.1],
+            [0.0; 8],
+            [0.0; 8],
+        ],
+        tiled: false,
+    },
+    PaperRow {
+        name: "2R2W-optimal",
+        times: [
+            [0.0224, 0.0224, 0.0467, 0.136, 0.478, 1.86, 7.52, 30.0],
+            [0.0; 8],
+            [0.0; 8],
+        ],
+        tiled: false,
+    },
+    PaperRow {
+        name: "2R1W",
+        times: [
+            [0.0191, 0.0272, 0.0669, 0.182, 0.577, 2.04, 7.88, 30.9],
+            [0.0161, 0.0191, 0.0489, 0.141, 0.434, 1.53, 5.81, 22.8],
+            [0.0271, 0.0284, 0.0489, 0.155, 0.459, 1.65, 6.35, 25.1],
+        ],
+        tiled: true,
+    },
+    PaperRow {
+        name: "1R1W",
+        times: [
+            [0.059, 0.108, 0.249, 0.524, 1.13, 2.97, 8.47, 27.9],
+            [0.0363, 0.0829, 0.194, 0.402, 0.866, 2.03, 6.32, 21.7],
+            [0.0301, 0.0653, 0.195, 0.417, 0.890, 2.02, 6.23, 21.0],
+        ],
+        tiled: true,
+    },
+    PaperRow {
+        name: "(1+r)R1W",
+        times: [
+            [0.0453, 0.0555, 0.118, 0.302, 0.862, 2.45, 7.47, 25.4],
+            [0.0464, 0.0582, 0.0809, 0.197, 0.539, 1.67, 5.95, 21.2],
+            [0.0638, 0.0709, 0.0871, 0.188, 0.517, 1.60, 5.81, 20.6],
+        ],
+        tiled: true,
+    },
+    PaperRow {
+        name: "1R1W-SKSS",
+        times: [
+            [0.0298, 0.0476, 0.0692, 0.128, 0.387, 1.20, 4.55, 17.5],
+            [0.0298, 0.0356, 0.0606, 0.136, 0.330, 1.15, 4.26, 16.4],
+            [0.0409, 0.0398, 0.0753, 0.124, 0.319, 1.14, 4.18, 16.2],
+        ],
+        tiled: true,
+    },
+    PaperRow {
+        name: "1R1W-SKSS-LB",
+        times: [
+            [0.0146, 0.0209, 0.0444, 0.147, 0.542, 2.16, 8.64, 37.5],
+            [0.0126, 0.0156, 0.0266, 0.0790, 0.266, 1.06, 4.28, 17.4],
+            [0.0132, 0.0136, 0.0208, 0.0753, 0.258, 0.980, 3.92, 15.8],
+        ],
+        tiled: true,
+    },
+];
+
+/// Index into [`SIZES`] for a matrix side, if evaluated by the paper.
+pub fn size_index(n: usize) -> Option<usize> {
+    SIZES.iter().position(|&s| s == n)
+}
+
+/// Published overhead (percent over duplication) of an algorithm's best
+/// configuration at size index `si`.
+pub fn paper_overhead(row: &PaperRow, si: usize) -> f64 {
+    let d = DUPLICATION.times[0][si];
+    (row.best_ms(si) - d) / d * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_overhead_is_5_7_percent() {
+        // The paper's abstract: "the overhead ratio over matrix
+        // duplication can be only 5.7%" — SKSS-LB at 8K^2, W = 128.
+        let lb = &ALGORITHMS[6];
+        let si = size_index(8192).unwrap();
+        assert_eq!(lb.best_ms(si), 0.980);
+        let oh = paper_overhead(lb, si);
+        assert!((oh - 5.7).abs() < 0.05, "overhead = {oh}");
+    }
+
+    #[test]
+    fn skss_lb_is_fastest_at_every_size() {
+        // "Our parallel SAT algorithm runs faster than all previous
+        // algorithms for matrices of sizes from 256x256 to 32Kx32K."
+        let lb = &ALGORITHMS[6];
+        for si in 0..SIZES.len() {
+            for other in &ALGORITHMS[..6] {
+                assert!(
+                    lb.best_ms(si) < other.best_ms(si),
+                    "size {} vs {}",
+                    SIZES[si],
+                    other.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_r_two_w_optimal_overhead_approaches_100() {
+        let opt = &ALGORITHMS[1];
+        let oh = paper_overhead(opt, size_index(8192).unwrap());
+        assert!((oh - 100.6).abs() < 0.5);
+    }
+
+    #[test]
+    fn size_indexing() {
+        assert_eq!(size_index(256), Some(0));
+        assert_eq!(size_index(32768), Some(7));
+        assert_eq!(size_index(100), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for k in 0..cols {
+                if k > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[k] - cells[k].len();
+                // Right-align numerics (anything starting with a digit),
+                // left-align labels.
+                if cells[k].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[k]);
+                } else {
+                    line.push_str(&cells[k]);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format milliseconds like the paper's Table III (3 significant digits).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms <= 0.0 {
+        return "0".to_string();
+    }
+    let digits = (3 - 1 - ms.abs().log10().floor() as i32).max(0) as usize;
+    format!("{ms:.digits$}")
+}
+
+/// Format an overhead percentage like the paper (one decimal).
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+/// Human-readable matrix size label: `256^2`, `1K^2`, `32K^2`.
+pub fn size_label(n: usize) -> String {
+    if n >= 1024 && n % 1024 == 0 {
+        format!("{}K^2", n / 1024)
+    } else {
+        format!("{n}^2")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["alg", "ms"]);
+        t.row(vec!["skss_lb".into(), "1.5".into()]);
+        t.row(vec!["x".into(), "123.0".into()]);
+        let s = t.render();
+        assert!(s.contains("alg"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        assert!(t.render_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    fn ms_formatting_matches_paper_style() {
+        assert_eq!(fmt_ms(0.00512), "0.00512");
+        assert_eq!(fmt_ms(0.0645), "0.0645");
+        assert_eq!(fmt_ms(14.7), "14.7");
+        assert_eq!(fmt_ms(87.1), "87.1");
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(256), "256^2");
+        assert_eq!(size_label(1024), "1K^2");
+        assert_eq!(size_label(32768), "32K^2");
+    }
+}

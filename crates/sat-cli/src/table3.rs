@@ -1,0 +1,312 @@
+//! Regeneration of Table III: running time (modeled ms) and overhead over
+//! matrix duplication, per algorithm, matrix size, and tile width.
+
+use gpu_sim::prelude::*;
+use satcore::model::{synthesize, AlgKind};
+use satcore::prelude::*;
+
+use crate::paper;
+use crate::report::{fmt_ms, fmt_pct, size_label, Table};
+
+/// How Table III entries are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Execute every algorithm functionally (verifying the SAT against
+    /// the sequential reference) and model time from *measured* counters.
+    Measured,
+    /// Synthesize the counters analytically (validated against measured
+    /// runs in satcore's tests) — allows the full 256..32K size sweep.
+    Synthetic,
+}
+
+/// One regenerated Table III cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Tile width, 0 for untiled algorithms.
+    pub w: usize,
+    /// Matrix side.
+    pub n: usize,
+    /// Modeled milliseconds.
+    pub ms: f64,
+}
+
+/// Configuration of a Table III run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Matrix sides to evaluate.
+    pub sizes: Vec<usize>,
+    /// Tile widths to sweep (the paper: 32, 64, 128).
+    pub widths: Vec<usize>,
+    /// Cell production mode.
+    pub mode: Mode,
+    /// Include the paper's published numbers for comparison.
+    pub paper_compare: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sizes: vec![256, 512, 1024, 2048],
+            widths: vec![32, 64, 128],
+            mode: Mode::Measured,
+            paper_compare: false,
+            csv: false,
+        }
+    }
+}
+
+/// The algorithm rows in paper order: (label, tiled?, synthetic kind).
+fn roster() -> Vec<(&'static str, bool, AlgKind)> {
+    vec![
+        ("2R2W", false, AlgKind::TwoRTwoW),
+        ("2R2W-optimal", false, AlgKind::TwoRTwoWOpt),
+        ("2R1W", true, AlgKind::TwoROneW),
+        ("1R1W", true, AlgKind::OneROneW),
+        ("(1+r)R1W", true, AlgKind::Hybrid(0.25)),
+        ("1R1W-SKSS", true, AlgKind::Skss),
+        ("1R1W-SKSS-LB", true, AlgKind::SkssLb),
+    ]
+}
+
+fn measured_cell(gpu: &Gpu, kind: AlgKind, n: usize, params: SatParams) -> f64 {
+    let a = Matrix::<u32>::random(n, n, 0xA5, 4);
+    let run = match kind {
+        AlgKind::Duplicate => {
+            let input = a.to_device();
+            let output = GlobalBuffer::zeroed(n * n);
+            Duplicate::new().copy(gpu, &input, &output)
+        }
+        _ => {
+            let alg = alg_for(kind, params);
+            let (sat, run) = compute_sat(gpu, alg.as_ref(), &a);
+            let expect = satcore::reference::sat(&a);
+            assert_eq!(sat, expect, "{} produced a wrong SAT at n={n}", kind.label());
+            run
+        }
+    };
+    run_millis(gpu.config(), &run)
+}
+
+fn alg_for(kind: AlgKind, params: SatParams) -> Box<dyn SatAlgorithm<u32>> {
+    match kind {
+        AlgKind::TwoRTwoW => Box::new(TwoRTwoW::new(params.threads_per_block)),
+        AlgKind::TwoRTwoWOpt => Box::new(TwoRTwoWOpt::new(params)),
+        AlgKind::TwoROneW => Box::new(TwoROneW::new(params)),
+        AlgKind::OneROneW => Box::new(OneROneW::new(params)),
+        AlgKind::Hybrid(r) => Box::new(HybridR1W::new(params, r)),
+        AlgKind::Skss => Box::new(Skss::new(params)),
+        AlgKind::SkssLb => Box::new(SkssLb::new(params)),
+        AlgKind::Duplicate => unreachable!("handled by caller"),
+    }
+}
+
+/// Produce every cell of the configured Table III slice, including the
+/// duplication baseline (w = 0 rows).
+pub fn cells(cfg: &Config, gpu: &Gpu) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for &n in &cfg.sizes {
+        let dup_ms = match cfg.mode {
+            Mode::Measured => measured_cell(gpu, AlgKind::Duplicate, n, SatParams::paper(32)),
+            Mode::Synthetic => {
+                run_millis(gpu.config(), &synthesize(AlgKind::Duplicate, n, SatParams::paper(32), gpu.config()))
+            }
+        };
+        out.push(Cell { algorithm: "duplication".into(), w: 0, n, ms: dup_ms });
+        for (label, tiled, kind) in roster() {
+            let widths: Vec<usize> = if tiled {
+                cfg.widths.iter().copied().filter(|&w| w <= n).collect()
+            } else {
+                vec![cfg.widths[0].min(n)]
+            };
+            for w in widths {
+                let params = SatParams::paper(w);
+                let ms = match cfg.mode {
+                    Mode::Measured => measured_cell(gpu, kind, n, params),
+                    Mode::Synthetic => run_millis(gpu.config(), &synthesize(kind, n, params, gpu.config())),
+                };
+                out.push(Cell { algorithm: label.into(), w: if tiled { w } else { 0 }, n, ms });
+            }
+        }
+    }
+    out
+}
+
+/// Best time per (algorithm, n) over tile widths — the highlighted
+/// entries of Table III.
+pub fn best_ms(cells: &[Cell], algorithm: &str, n: usize) -> Option<f64> {
+    cells
+        .iter()
+        .filter(|c| c.algorithm == algorithm && c.n == n)
+        .map(|c| c.ms)
+        .fold(None, |best, ms| Some(best.map_or(ms, |b: f64| b.min(ms))))
+}
+
+/// Render the report.
+pub fn render(cfg: &Config, gpu: &Gpu) -> String {
+    let data = cells(cfg, gpu);
+    let mut header: Vec<String> = vec!["algorithm".into(), "W".into()];
+    for &n in &cfg.sizes {
+        header.push(size_label(n));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    fn push_series(table: &mut Table, data: &[Cell], sizes: &[usize], label: &str, w: usize) {
+        let mut row = vec![label.to_string(), if w == 0 { "-".into() } else { format!("{w}^2") }];
+        for &n in sizes {
+            let ms = data
+                .iter()
+                .find(|c| c.algorithm == label && c.n == n && (c.w == w || (w > n)))
+                .map(|c| c.ms);
+            row.push(ms.map_or("-".into(), fmt_ms));
+        }
+        table.row(row);
+    }
+
+    push_series(&mut table, &data, &cfg.sizes, "duplication", 0);
+    for (label, tiled, _) in roster() {
+        if tiled {
+            for &w in &cfg.widths {
+                push_series(&mut table, &data, &cfg.sizes, label, w);
+            }
+        } else {
+            push_series(&mut table, &data, &cfg.sizes, label, 0);
+        }
+        // Overhead row for the best configuration, as in the paper.
+        let mut row = vec![format!("{label} overhead"), "best".into()];
+        for &n in &cfg.sizes {
+            let dup = best_ms(&data, "duplication", n).unwrap();
+            let best = best_ms(&data, label, n);
+            row.push(best.map_or("-".into(), |b| fmt_pct(overhead_percent(b, dup))));
+        }
+        table.row(row);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table III — modeled running time (ms), {} mode, device: {}\n\n",
+        match cfg.mode {
+            Mode::Measured => "measured-counters",
+            Mode::Synthetic => "synthetic-counters",
+        },
+        gpu.config().name
+    ));
+    out.push_str(&if cfg.csv { table.render_csv() } else { table.render() });
+
+    if cfg.paper_compare {
+        out.push('\n');
+        out.push_str(&render_paper_comparison(cfg, &data));
+    }
+    out
+}
+
+/// Side-by-side with the paper's published best times (only for sizes the
+/// paper evaluated): ratio of modeled to published, and agreement of the
+/// two headline shape claims.
+fn render_paper_comparison(cfg: &Config, data: &[Cell]) -> String {
+    let mut t = Table::new(&["algorithm", "n", "model ms", "paper ms", "model/paper", "overhead model", "overhead paper"]);
+    let paper_rows: Vec<(&str, &paper::PaperRow)> = roster()
+        .iter()
+        .map(|(l, _, _)| *l)
+        .zip(paper::ALGORITHMS.iter())
+        .collect();
+    for &n in &cfg.sizes {
+        let Some(si) = paper::size_index(n) else { continue };
+        let dup_model = best_ms(data, "duplication", n).unwrap();
+        let dup_paper = paper::DUPLICATION.times[0][si];
+        t.row(vec![
+            "duplication".into(),
+            size_label(n),
+            fmt_ms(dup_model),
+            fmt_ms(dup_paper),
+            format!("{:.2}", dup_model / dup_paper),
+            "-".into(),
+            "-".into(),
+        ]);
+        for (label, prow) in &paper_rows {
+            if let Some(model) = best_ms(data, label, n) {
+                let pms = prow.best_ms(si);
+                t.row(vec![
+                    label.to_string(),
+                    size_label(n),
+                    fmt_ms(model),
+                    fmt_ms(pms),
+                    format!("{:.2}", model / pms),
+                    fmt_pct(overhead_percent(model, dup_model)),
+                    fmt_pct(paper::paper_overhead(prow, si)),
+                ]);
+            }
+        }
+    }
+    let mut out = String::from("Comparison with the paper's published Table III (best-W entries):\n\n");
+    out.push_str(&if cfg.csv { t.render_csv() } else { t.render() });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(mode: Mode) -> Config {
+        Config { sizes: vec![64, 128], widths: vec![8, 16], mode, paper_compare: false, csv: false }
+    }
+
+    #[test]
+    fn measured_table_renders_and_verifies() {
+        let gpu = Gpu::new(DeviceConfig::titan_v());
+        let s = render(&quick_cfg(Mode::Measured), &gpu);
+        assert!(s.contains("1R1W-SKSS-LB"));
+        assert!(s.contains("overhead"));
+    }
+
+    #[test]
+    fn synthetic_table_covers_paper_sizes() {
+        let gpu = Gpu::new(DeviceConfig::titan_v());
+        let cfg = Config {
+            sizes: paper::SIZES.to_vec(),
+            widths: vec![32, 64, 128],
+            mode: Mode::Synthetic,
+            paper_compare: true,
+            csv: false,
+        };
+        let s = render(&cfg, &gpu);
+        assert!(s.contains("32K^2"));
+        assert!(s.contains("model/paper"));
+    }
+
+    #[test]
+    fn skss_lb_wins_in_synthetic_mode() {
+        // The paper's headline: SKSS-LB fastest at every size.
+        let gpu = Gpu::new(DeviceConfig::titan_v());
+        let cfg = Config {
+            sizes: paper::SIZES.to_vec(),
+            widths: vec![32, 64, 128],
+            mode: Mode::Synthetic,
+            paper_compare: false,
+            csv: false,
+        };
+        let data = cells(&cfg, &gpu);
+        for &n in &cfg.sizes {
+            let lb = best_ms(&data, "1R1W-SKSS-LB", n).unwrap();
+            for (label, _, _) in roster() {
+                if label != "1R1W-SKSS-LB" {
+                    let other = best_ms(&data, label, n).unwrap();
+                    assert!(lb <= other, "n={n}: SKSS-LB {lb} vs {label} {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csv_mode() {
+        let gpu = Gpu::new(DeviceConfig::titan_v());
+        let mut cfg = quick_cfg(Mode::Synthetic);
+        cfg.csv = true;
+        let s = render(&cfg, &gpu);
+        assert!(s.contains("algorithm,W"));
+    }
+}

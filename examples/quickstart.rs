@@ -1,0 +1,62 @@
+//! Quickstart: compute a summed area table with the paper's single-kernel
+//! algorithm and use it for O(1) rectangle sums.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+fn main() {
+    // A simulated TITAN V (the paper's evaluation GPU). Sequential mode is
+    // deterministic; ExecMode::Concurrent runs blocks on real OS threads.
+    let gpu = Gpu::new(DeviceConfig::titan_v());
+
+    // A 512 x 512 random matrix, uploaded to simulated device memory.
+    let n = 512;
+    let a = Matrix::<u64>::random(n, n, 42, 100);
+
+    // The paper's 1R1W-SKSS-LB algorithm with W = 32 tiles and
+    // 1024-thread blocks.
+    let alg = SkssLb::new(SatParams::paper(32));
+    let (sat, metrics) = compute_sat(&gpu, &alg, &a);
+
+    // Verify against the sequential reference.
+    assert_eq!(sat, satcore::reference::sat(&a));
+    println!("SAT of a {n}x{n} matrix computed by {}", SatAlgorithm::<u64>::name(&alg));
+
+    // The whole point of a SAT: any rectangle sum in four lookups.
+    let q = RegionQuery::new(sat);
+    let total = q.sum(0, n - 1, 0, n - 1);
+    let center = q.sum(n / 4, 3 * n / 4, n / 4, 3 * n / 4);
+    println!("total sum          = {total}");
+    println!("center quarter sum = {center}");
+    assert_eq!(
+        center,
+        satcore::reference::region_sum_direct(&a, n / 4, 3 * n / 4, n / 4, 3 * n / 4)
+    );
+
+    // The optimality claim, measured: ~1 read and ~1 write per element, in
+    // exactly one kernel call.
+    let n2 = (n * n) as u64;
+    println!("kernel calls       = {}", metrics.kernel_calls());
+    println!(
+        "global reads       = {} ({:.2} per element)",
+        metrics.total_reads(),
+        metrics.total_reads() as f64 / n2 as f64
+    );
+    println!(
+        "global writes      = {} ({:.2} per element)",
+        metrics.total_writes(),
+        metrics.total_writes() as f64 / n2 as f64
+    );
+    println!(
+        "modeled time       = {:.4} ms on {}",
+        run_millis(gpu.config(), &metrics),
+        gpu.config().name
+    );
+    assert_eq!(metrics.kernel_calls(), 1);
+    assert!(metrics.total_reads() < n2 + n2 / 4);
+    assert!(metrics.total_writes() < n2 + n2 / 4);
+}

@@ -1,0 +1,5 @@
+//! Workspace façade: re-exports the reproduction crates for the
+//! integration tests and runnable examples that live at the repo root.
+pub use gpu_sim;
+pub use prefix;
+pub use satcore;

@@ -1,0 +1,110 @@
+//! Integration: all seven SAT algorithms, every element type, both
+//! execution modes — everything must agree with the sequential reference
+//! and therefore with each other.
+
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+fn check_all<T: gpu_sim::elem::DeviceElem>(gpu: &Gpu, n: usize, params: SatParams, seed: u64) {
+    let a = Matrix::<T>::random(n, n, seed, 8);
+    let expect = satcore::reference::sat(&a);
+    for alg in all_algorithms::<T>(params) {
+        let (got, metrics) = compute_sat(gpu, alg.as_ref(), &a);
+        assert_eq!(got, expect, "{} disagrees with the reference (n={n})", alg.name());
+        assert!(metrics.kernel_calls() >= 1);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_sequential() {
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    let params = SatParams { w: 8, threads_per_block: 64 };
+    for n in [8usize, 16, 24, 32, 64] {
+        check_all::<u64>(&gpu, n, params, n as u64);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_concurrent_adversarial() {
+    for dispatch in [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(3)] {
+        let gpu = Gpu::new(DeviceConfig::tiny())
+            .with_mode(ExecMode::Concurrent)
+            .with_dispatch(dispatch);
+        check_all::<u64>(&gpu, 32, SatParams { w: 8, threads_per_block: 64 }, 77);
+    }
+}
+
+#[test]
+fn all_algorithms_all_integer_types() {
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    let params = SatParams { w: 4, threads_per_block: 16 };
+    check_all::<u32>(&gpu, 16, params, 1);
+    check_all::<i32>(&gpu, 16, params, 2);
+    check_all::<u64>(&gpu, 16, params, 3);
+    check_all::<i64>(&gpu, 16, params, 4);
+}
+
+#[test]
+fn all_algorithms_float_types_close() {
+    // Floats: tile-based algorithms reassociate sums, so compare with a
+    // tolerance instead of bit equality.
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    let params = SatParams { w: 4, threads_per_block: 16 };
+    let n = 16usize;
+    let a = Matrix::<f64>::random(n, n, 5, 8);
+    let expect = satcore::reference::sat(&a);
+    for alg in all_algorithms::<f64>(params) {
+        let (got, _) = compute_sat(&gpu, alg.as_ref(), &a);
+        for i in 0..n {
+            for j in 0..n {
+                let e = expect.get(i, j);
+                let g = got.get(i, j);
+                assert!((e - g).abs() <= 1e-9 * e.abs().max(1.0), "{} at ({i},{j}): {g} vs {e}", alg.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_width_sweep_on_titan_v() {
+    // The paper's actual parameter space: W in {32, 64, 128} on the TITAN
+    // V preset (n kept small enough to run functionally).
+    let gpu = Gpu::new(DeviceConfig::titan_v());
+    let n = 256usize;
+    let a = Matrix::<u32>::random(n, n, 6, 4);
+    let expect = satcore::reference::sat(&a);
+    for w in [32usize, 64, 128] {
+        let (got, metrics) = compute_sat(&gpu, &SkssLb::new(SatParams::paper(w)), &a);
+        assert_eq!(got, expect, "W={w}");
+        assert_eq!(metrics.kernels[0].blocks, (n / w) * (n / w));
+        assert_eq!(metrics.kernels[0].threads_per_block, (w * w).min(1024));
+    }
+}
+
+#[test]
+fn non_power_of_two_tile_counts() {
+    // n/W need not be a power of two: 3x3, 5x5, 7x7 tile grids.
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    let params = SatParams { w: 8, threads_per_block: 64 };
+    for t in [3usize, 5, 7] {
+        check_all::<u64>(&gpu, 8 * t, params, t as u64 + 100);
+    }
+}
+
+#[test]
+fn single_tile_and_single_row_grids() {
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    // n == W: one tile, no look-back at all.
+    check_all::<u64>(&gpu, 8, SatParams { w: 8, threads_per_block: 64 }, 200);
+    // W == 1: degenerate tiles, maximal tile count.
+    check_all::<u64>(&gpu, 8, SatParams { w: 1, threads_per_block: 1 }, 201);
+}
+
+#[test]
+fn compute_sat_roundtrip_preserves_input() {
+    let gpu = Gpu::new(DeviceConfig::tiny());
+    let a = Matrix::<u64>::random(16, 16, 300, 8);
+    let snapshot = a.clone();
+    let _ = compute_sat(&gpu, &SkssLb::new(SatParams { w: 4, threads_per_block: 16 }), &a);
+    assert_eq!(a, snapshot, "input matrix must not be mutated");
+}

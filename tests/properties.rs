@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core invariants: SAT algebra,
+//! rectangle queries, serial numbering, scans, and the paper's algorithm
+//! against the reference on randomized shapes.
+
+use gpu_sim::prelude::*;
+use proptest::prelude::*;
+use satcore::alg::skss_lb::{serial_number, tile_for_serial};
+use satcore::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(DeviceConfig::tiny())
+}
+
+/// A random square matrix with side `w * t` (tileable by construction).
+fn tileable_matrix() -> impl Strategy<Value = (Matrix<u64>, usize)> {
+    (1usize..=8, 1usize..=6, any::<u64>()).prop_map(|(w, t, seed)| {
+        let n = w * t;
+        (Matrix::<u64>::random(n, n, seed, 16), w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn skss_lb_matches_reference_on_random_shapes((a, w) in tileable_matrix()) {
+        let params = SatParams { w, threads_per_block: (w * w).min(64) };
+        let (got, _) = compute_sat(&gpu(), &SkssLb::new(params), &a);
+        prop_assert_eq!(got, satcore::reference::sat(&a));
+    }
+
+    #[test]
+    fn skss_matches_reference_on_random_shapes((a, w) in tileable_matrix()) {
+        let params = SatParams { w, threads_per_block: (w * w).min(64) };
+        let (got, _) = compute_sat(&gpu(), &Skss::new(params), &a);
+        prop_assert_eq!(got, satcore::reference::sat(&a));
+    }
+
+    #[test]
+    fn sat_is_linear(seed in any::<u64>(), n in 1usize..24) {
+        let a = Matrix::<u64>::random(n, n, seed, 100);
+        let b = Matrix::<u64>::random(n, n, seed ^ 0xffff, 100);
+        let sum = Matrix::from_fn(n, n, |i, j| a.get(i, j) + b.get(i, j));
+        let sat_a = satcore::reference::sat(&a);
+        let sat_b = satcore::reference::sat(&b);
+        let sat_sum = satcore::reference::sat(&sum);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(sat_sum.get(i, j), sat_a.get(i, j) + sat_b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn sat_commutes_with_transpose(seed in any::<u64>(), n in 1usize..20) {
+        let a = Matrix::<u64>::random(n, n, seed, 50);
+        let at = Matrix::from_fn(n, n, |i, j| a.get(j, i));
+        let sat_then_t = {
+            let s = satcore::reference::sat(&a);
+            Matrix::from_fn(n, n, |i, j| s.get(j, i))
+        };
+        let t_then_sat = satcore::reference::sat(&at);
+        prop_assert_eq!(sat_then_t, t_then_sat);
+    }
+
+    #[test]
+    fn region_query_equals_direct_sum(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        rect in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let a = Matrix::<u64>::random(n, n, seed, 30);
+        let q = RegionQuery::new(satcore::reference::sat(&a));
+        let r0 = (rect.0 % n as u64) as usize;
+        let r1 = r0 + ((rect.1 % (n as u64 - r0 as u64)) as usize);
+        let c0 = (rect.2 % n as u64) as usize;
+        let c1 = c0 + ((rect.3 % (n as u64 - c0 as u64)) as usize);
+        prop_assert_eq!(
+            q.sum(r0, r1, c0, c1),
+            satcore::reference::region_sum_direct(&a, r0, r1, c0, c1)
+        );
+    }
+
+    #[test]
+    fn sat_is_monotone_for_nonnegative_inputs(seed in any::<u64>(), n in 1usize..20) {
+        // b[i][j] is non-decreasing along rows and columns when all inputs
+        // are >= 0 — the property region queries rely on.
+        let a = Matrix::<u64>::random(n, n, seed, 100);
+        let s = satcore::reference::sat(&a);
+        for i in 0..n {
+            for j in 1..n {
+                prop_assert!(s.get(i, j) >= s.get(i, j - 1));
+            }
+        }
+        for j in 0..n {
+            for i in 1..n {
+                prop_assert!(s.get(i, j) >= s.get(i - 1, j));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_numbering_is_a_bijection(t in 1usize..40) {
+        let mut seen = vec![false; t * t];
+        for i in 0..t {
+            for j in 0..t {
+                let s = serial_number(i, j, t);
+                prop_assert!(s < t * t);
+                prop_assert!(!seen[s]);
+                seen[s] = true;
+                prop_assert_eq!(tile_for_serial(s, t), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn serials_respect_dependency_order(t in 2usize..40, i in 0usize..40, j in 0usize..40) {
+        let (i, j) = (i % t, j % t);
+        let s = serial_number(i, j, t);
+        if j > 0 { prop_assert!(serial_number(i, j - 1, t) < s); }
+        if i > 0 { prop_assert!(serial_number(i - 1, j, t) < s); }
+        if i > 0 && j > 0 { prop_assert!(serial_number(i - 1, j - 1, t) < s); }
+    }
+
+    #[test]
+    fn device_scan_matches_sequential(data in prop::collection::vec(0u64..1000, 0..600)) {
+        let input = GlobalBuffer::from_slice(&data);
+        let output = GlobalBuffer::<u64>::zeroed(data.len());
+        if !data.is_empty() {
+            prefix::device_inclusive_scan(
+                &gpu(),
+                &input,
+                &output,
+                prefix::ScanParams { threads_per_block: 32, items_per_thread: 2 },
+            );
+            prop_assert_eq!(output.to_vec(), prefix::seq::inclusive_scan(&data));
+        }
+    }
+
+    #[test]
+    fn dispatch_permutations_are_permutations(seed in any::<u64>(), blocks in 0usize..200) {
+        for d in [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(seed)] {
+            let mut p = d.permutation(blocks);
+            p.sort_unstable();
+            prop_assert_eq!(p, (0..blocks).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_inclusive(data in prop::collection::vec(0u64..100, 1..200)) {
+        let inc = prefix::seq::inclusive_scan(&data);
+        let exc = prefix::seq::exclusive_scan(&data);
+        prop_assert_eq!(exc[0], 0);
+        for k in 1..data.len() {
+            prop_assert_eq!(exc[k], inc[k - 1]);
+        }
+    }
+
+    #[test]
+    fn diagonal_arrangement_is_always_a_permutation(w in 1usize..=64) {
+        // offset(i, j) = i*w + (i+j) mod w must hit every slot exactly once.
+        let mut seen = vec![false; w * w];
+        for i in 0..w {
+            for j in 0..w {
+                let off = i * w + (i + j) % w;
+                prop_assert!(!seen[off], "collision at ({i},{j}) w={w}");
+                seen[off] = true;
+            }
+        }
+    }
+}
