@@ -2,57 +2,43 @@
 //! diagonal arrangement (Fig. 3), the look-back technique (the paper's
 //! delta over 1R1W-SKSS), and scheduler robustness under concurrency.
 
+use bench::harness::case;
 use bench::{bench_gpu, workload};
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::prelude::*;
 use satcore::prelude::*;
 
 const N: usize = 512;
 const W: usize = 32;
 
-fn arrangement(c: &mut Criterion) {
+fn arrangement() {
     let gpu = bench_gpu();
     let a = workload(N);
     let input = a.to_device();
     let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
     let params = SatParams::paper(W);
 
-    let mut g = c.benchmark_group("ablation/arrangement");
-    g.bench_function("diagonal", |b| {
-        let alg = SkssLb::new(params);
-        b.iter(|| alg.run(&gpu, &input, &output, N));
-    });
-    g.bench_function("row_major", |b| {
-        let alg = SkssLb::new(params).with_arrangement(Arrangement::RowMajor);
-        b.iter(|| alg.run(&gpu, &input, &output, N));
-    });
-    g.finish();
+    let diagonal = SkssLb::new(params);
+    case("ablation/arrangement/diagonal", || diagonal.run(&gpu, &input, &output, N));
+    let row_major = SkssLb::new(params).with_arrangement(Arrangement::RowMajor);
+    case("ablation/arrangement/row_major", || row_major.run(&gpu, &input, &output, N));
 }
 
-fn lookback(c: &mut Criterion) {
+fn lookback() {
     let gpu = bench_gpu();
     let a = workload(N);
     let input = a.to_device();
     let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
     let params = SatParams::paper(W);
 
-    let mut g = c.benchmark_group("ablation/lookback");
-    g.bench_function("decoupled", |b| {
-        let alg = SkssLb::new(params);
-        b.iter(|| alg.run(&gpu, &input, &output, N));
-    });
-    g.bench_function("coupled", |b| {
-        let alg = SkssLb::new(params).with_decoupled(false);
-        b.iter(|| alg.run(&gpu, &input, &output, N));
-    });
-    g.bench_function("skss_column_pipeline", |b| {
-        let alg = Skss::new(params);
-        b.iter(|| alg.run(&gpu, &input, &output, N));
-    });
-    g.finish();
+    let decoupled = SkssLb::new(params);
+    case("ablation/lookback/decoupled", || decoupled.run(&gpu, &input, &output, N));
+    let coupled = SkssLb::new(params).with_decoupled(false);
+    case("ablation/lookback/coupled", || coupled.run(&gpu, &input, &output, N));
+    let skss = Skss::new(params);
+    case("ablation/lookback/skss_column_pipeline", || skss.run(&gpu, &input, &output, N));
 }
 
-fn dispatch(c: &mut Criterion) {
+fn dispatch() {
     // Concurrent execution under different scheduler orders: measures the
     // real cost of spinning on soft-sync flags on this host.
     let a = workload(N);
@@ -60,52 +46,34 @@ fn dispatch(c: &mut Criterion) {
     let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
     let params = SatParams::paper(W);
 
-    let mut g = c.benchmark_group("ablation/dispatch_concurrent");
     for (label, d) in [
         ("in_order", DispatchOrder::InOrder),
         ("reversed", DispatchOrder::Reversed),
         ("random", DispatchOrder::Random(1)),
     ] {
         let gpu = bench_gpu().with_mode(ExecMode::Concurrent).with_dispatch(d);
-        g.bench_function(label, |b| {
-            let alg = SkssLb::new(params);
-            b.iter(|| alg.run(&gpu, &input, &output, N));
+        let alg = SkssLb::new(params);
+        case(&format!("ablation/dispatch_concurrent/{label}"), || {
+            alg.run(&gpu, &input, &output, N)
         });
     }
-    g.finish();
 }
 
-fn block_size(c: &mut Criterion) {
+fn block_size() {
     let gpu = bench_gpu();
     let a = workload(N);
     let input = a.to_device();
     let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(N * N);
 
-    let mut g = c.benchmark_group("ablation/block_size");
     for tpb in [64usize, 256, 1024] {
-        g.bench_function(format!("tpb_{tpb}"), |b| {
-            let alg = SkssLb::new(SatParams { w: W, threads_per_block: tpb });
-            b.iter(|| alg.run(&gpu, &input, &output, N));
-        });
+        let alg = SkssLb::new(SatParams { w: W, threads_per_block: tpb });
+        case(&format!("ablation/block_size/tpb_{tpb}"), || alg.run(&gpu, &input, &output, N));
     }
-    g.finish();
 }
 
-
-/// Quick Criterion config for a 1-core CI box: short warmup/measurement,
-/// fixed 10 samples, no HTML plots (report generation dominates runtime
-/// otherwise).
-fn quick() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(10)
-        .without_plots()
+fn main() {
+    arrangement();
+    lookback();
+    dispatch();
+    block_size();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = arrangement, lookback, dispatch, block_size
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! column scan (ref \[12\]) against their sequential references.
 
 use bench::bench_gpu;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::case;
 use gpu_sim::prelude::*;
 use prefix::{device_col_scan, device_inclusive_scan, device_row_scan, ColScanParams, ScanParams};
 
@@ -11,89 +11,66 @@ fn data(n: usize) -> Vec<u64> {
     (0..n as u64).map(|i| (i * 48271) % 1000).collect()
 }
 
-fn warp_scan(c: &mut Criterion) {
+fn warp_scan() {
     // Fig. 4: the log2(w)-step warp scan.
     let gpu = bench_gpu();
-    c.bench_function("fig4/warp_scan_32", |b| {
-        b.iter(|| {
-            gpu.launch(LaunchConfig::new("warp", 1, 32), |ctx| {
-                let mut lanes = [7u64; 32];
-                warp_inclusive_scan(ctx, &mut lanes);
-                std::hint::black_box(lanes[31]);
-            })
-        });
+    case("fig4/warp_scan_32", || {
+        gpu.launch(LaunchConfig::new("warp", 1, 32), |ctx| {
+            let mut lanes = [7u64; 32];
+            warp_inclusive_scan(ctx, &mut lanes);
+            std::hint::black_box(lanes[31]);
+        })
     });
 }
 
-fn device_scan(c: &mut Criterion) {
+fn device_scan() {
     let gpu = bench_gpu();
-    let mut g = c.benchmark_group("prefix/mg_scan");
     for n in [1 << 14, 1 << 17, 1 << 20] {
         let v = data(n);
         let input = GlobalBuffer::from_slice(&v);
         let output = GlobalBuffer::<u64>::zeroed(n);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| device_inclusive_scan(&gpu, &input, &output, ScanParams::default()));
+        case(&format!("prefix/mg_scan/{n}"), || {
+            device_inclusive_scan(&gpu, &input, &output, ScanParams::default())
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("prefix/sequential");
     for n in [1 << 14, 1 << 17, 1 << 20] {
         let v = data(n);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| prefix::seq::inclusive_scan(&v));
-        });
+        case(&format!("prefix/sequential/{n}"), || prefix::seq::inclusive_scan(&v));
     }
-    g.finish();
 }
 
-fn matrix_scans(c: &mut Criterion) {
+fn matrix_scans() {
     let gpu = bench_gpu();
     let n = 512usize;
     let v = data(n * n);
     let input = GlobalBuffer::from_slice(&v);
     let output = GlobalBuffer::<u64>::zeroed(n * n);
 
-    let mut g = c.benchmark_group("prefix/matrix");
-    g.throughput(Throughput::Elements((n * n) as u64));
-    g.bench_function("row_scan_512", |b| {
-        b.iter(|| {
-            device_row_scan(&gpu, &input, &output, n, n, ScanParams { threads_per_block: 1024, items_per_thread: 4 })
-        });
+    case("prefix/matrix/row_scan_512", || {
+        device_row_scan(
+            &gpu,
+            &input,
+            &output,
+            n,
+            n,
+            ScanParams { threads_per_block: 1024, items_per_thread: 4 },
+        )
     });
-    g.bench_function("col_scan_512", |b| {
-        b.iter(|| {
-            device_col_scan(
-                &gpu,
-                &input,
-                &output,
-                n,
-                n,
-                ColScanParams { strip_rows: 16, band_cols: 512, threads_per_block: 512 },
-            )
-        });
+    case("prefix/matrix/col_scan_512", || {
+        device_col_scan(
+            &gpu,
+            &input,
+            &output,
+            n,
+            n,
+            ColScanParams { strip_rows: 16, band_cols: 512, threads_per_block: 512 },
+        )
     });
-    g.finish();
 }
 
-
-/// Quick Criterion config for a 1-core CI box: short warmup/measurement,
-/// fixed 10 samples, no HTML plots (report generation dominates runtime
-/// otherwise).
-fn quick() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(10)
-        .without_plots()
+fn main() {
+    warp_scan();
+    device_scan();
+    matrix_scans();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = warp_scan, device_scan, matrix_scans
-}
-criterion_main!(benches);

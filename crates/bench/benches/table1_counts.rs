@@ -1,14 +1,14 @@
 //! Table I bench: every algorithm at the paper's `(n, W, m)` parameter
 //! points. Setup asserts the Table I counter theory against measurement
-//! (kernel calls, reads, writes), then Criterion times the runs — so this
-//! target both *verifies* and *measures* the table's rows.
+//! (kernel calls, reads, writes), then the harness times the runs — so
+//! this target both *verifies* and *measures* the table's rows.
 
+use bench::harness::case;
 use bench::{bench_gpu, workload};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use satcore::analysis::{table_one, within_lower_order};
 use satcore::prelude::*;
 
-fn table1(c: &mut Criterion) {
+fn table1() {
     let gpu = bench_gpu();
     let n = 512usize;
     let w = 32usize;
@@ -16,7 +16,6 @@ fn table1(c: &mut Criterion) {
     let a = workload(n);
     let theory = table_one(n, params, 0.25);
 
-    let mut g = c.benchmark_group("table1");
     for (alg, row) in all_algorithms::<u32>(params).into_iter().zip(theory) {
         // Verify the Table I characterization before timing it.
         let (sat, run) = compute_sat(&gpu, alg.as_ref(), &a);
@@ -38,28 +37,10 @@ fn table1(c: &mut Criterion) {
 
         let input = a.to_device();
         let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
-        g.bench_with_input(BenchmarkId::from_parameter(row.algorithm), &n, |b, &n| {
-            b.iter(|| alg.run(&gpu, &input, &output, n));
-        });
+        case(&format!("table1/{}", row.algorithm), || alg.run(&gpu, &input, &output, n));
     }
-    g.finish();
 }
 
-
-/// Quick Criterion config for a 1-core CI box: short warmup/measurement,
-/// fixed 10 samples, no HTML plots (report generation dominates runtime
-/// otherwise).
-fn quick() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(10)
-        .without_plots()
+fn main() {
+    table1();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = table1
-}
-criterion_main!(benches);

@@ -5,61 +5,39 @@
 //! moves every counted byte. Modeled TITAN V milliseconds for the same
 //! runs come from `sat-cli table3`.
 
+use bench::harness::case;
 use bench::{bench_gpu, device_pair, roster, workload, BENCH_SIZES, BENCH_WIDTHS};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use satcore::prelude::*;
 
-fn duplication(c: &mut Criterion) {
+fn duplication() {
     let gpu = bench_gpu();
-    let mut g = c.benchmark_group("table3/duplication");
     for &n in &BENCH_SIZES {
         let a = workload(n);
         let (input, output) = device_pair(&a);
-        g.throughput(Throughput::Bytes((2 * n * n * 4) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| Duplicate::new().copy(&gpu, &input, &output));
+        case(&format!("table3/duplication/{n}"), || {
+            Duplicate::new().copy(&gpu, &input, &output)
         });
     }
-    g.finish();
 }
 
-fn algorithms(c: &mut Criterion) {
+fn algorithms() {
     let gpu = bench_gpu();
     for &w in &BENCH_WIDTHS {
         for (label, alg) in roster(w) {
-            let mut g = c.benchmark_group(format!("table3/{label}"));
-                    for &n in &BENCH_SIZES {
+            for &n in &BENCH_SIZES {
                 if w > n {
                     continue;
                 }
                 let a = workload(n);
                 let input = a.to_device();
                 let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
-                g.throughput(Throughput::Bytes((2 * n * n * 4) as u64));
-                g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-                    b.iter(|| alg.run(&gpu, &input, &output, n));
-                });
+                case(&format!("table3/{label}/{n}"), || alg.run(&gpu, &input, &output, n));
             }
-            g.finish();
         }
     }
 }
 
-
-/// Quick Criterion config for a 1-core CI box: short warmup/measurement,
-/// fixed 10 samples, no HTML plots (report generation dominates runtime
-/// otherwise).
-fn quick() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(10)
-        .without_plots()
+fn main() {
+    duplication();
+    algorithms();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = duplication, algorithms
-}
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Shared workload builders for the Criterion benches.
+//! Shared workload builders for the benchmark targets.
 //!
 //! Each bench target regenerates one artifact of the paper:
 //!
@@ -51,6 +51,55 @@ pub fn roster(w: usize) -> Vec<(String, Box<dyn SatAlgorithm<u32>>)> {
         (format!("skss_w{w}"), Box::new(Skss::new(params))),
         (format!("skss_lb_w{w}"), Box::new(SkssLb::new(params))),
     ]
+}
+
+pub mod harness {
+    //! A minimal wall-clock bench runner (no external harness crates):
+    //! short warmup, fixed sample budget, median/min report. Designed for
+    //! a 1-core CI box where a single sample stays under a second.
+
+    use std::time::{Duration, Instant};
+
+    /// Warmup budget before sampling begins.
+    const WARMUP: Duration = Duration::from_millis(300);
+    /// Total measurement budget per case.
+    const MEASURE: Duration = Duration::from_millis(1200);
+    /// Samples per case (fewer if `MEASURE` runs out first).
+    const SAMPLES: usize = 10;
+
+    /// Time one closure and print `group/name  median  (min)` on stdout.
+    /// Returns the median seconds so callers can post-process.
+    pub fn case<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let budget = Instant::now();
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed().as_secs_f64());
+            if budget.elapsed() > MEASURE {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!("{name:<40} {:>12} (min {:>12})", pretty(median), pretty(min));
+        median
+    }
+
+    fn pretty(secs: f64) -> String {
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else {
+            format!("{:.3} us", secs * 1e6)
+        }
+    }
 }
 
 #[cfg(test)]

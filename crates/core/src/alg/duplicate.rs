@@ -44,9 +44,7 @@ impl Duplicate {
             if lo >= hi {
                 return;
             }
-            let mut tmp = vec![T::zero(); hi - lo];
-            input.load_row(ctx, lo, &mut tmp);
-            output.store_row(ctx, lo, &tmp);
+            output.copy_from(ctx, lo, input, lo, hi - lo);
         }));
         run
     }

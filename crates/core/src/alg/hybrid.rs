@@ -65,12 +65,16 @@ fn local_sums_tile<T: DeviceElem>(
     ls: &ScalarAux<T>,
 ) {
     let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-    let lrs_v = tile.row_sums(ctx);
+    let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+    tile.row_sums_into(ctx, &mut lrs_v);
+    tile.release(ctx);
     ctx.syncthreads();
     let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
     lrs.write_vec(ctx, ti, tj, &lrs_v);
     lcs.write_vec(ctx, ti, tj, &lcs_v);
     ls.write(ctx, ti, tj, total);
+    ctx.recycle(lrs_v);
+    ctx.recycle(lcs_v);
 }
 
 /// The `(I, J)` tiles of tile-row `ti` whose diagonal lies in `diags`.
@@ -102,31 +106,37 @@ fn accumulate_globals<T: DeviceElem>(
     if b < t {
         let ti = b;
         let js = row_range(grid, ti, &diags);
-        let mut acc = if js.start > 0 {
-            grs.read_vec(ctx, ti, js.start - 1)
-        } else {
-            vec![T::zero(); grid.w]
-        };
+        let mut acc: Vec<T> = ctx.scratch(grid.w);
+        if js.start > 0 {
+            grs.read_vec_into(ctx, ti, js.start - 1, &mut acc);
+        }
+        let mut v: Vec<T> = ctx.scratch(grid.w);
         for tj in js {
-            for (a, x) in acc.iter_mut().zip(lrs.read_vec(ctx, ti, tj)) {
+            lrs.read_vec_into(ctx, ti, tj, &mut v);
+            for (a, &x) in acc.iter_mut().zip(&v) {
                 *a = a.add(x);
             }
             grs.write_vec(ctx, ti, tj, &acc);
         }
+        ctx.recycle(acc);
+        ctx.recycle(v);
     } else if b < 2 * t {
         let tj = b - t;
         let is = row_range(grid, tj, &diags);
-        let mut acc = if is.start > 0 {
-            gcs.read_vec(ctx, is.start - 1, tj)
-        } else {
-            vec![T::zero(); grid.w]
-        };
+        let mut acc: Vec<T> = ctx.scratch(grid.w);
+        if is.start > 0 {
+            gcs.read_vec_into(ctx, is.start - 1, tj, &mut acc);
+        }
+        let mut v: Vec<T> = ctx.scratch(grid.w);
         for ti in is {
-            for (a, x) in acc.iter_mut().zip(lcs.read_vec(ctx, ti, tj)) {
+            lcs.read_vec_into(ctx, ti, tj, &mut v);
+            for (a, &x) in acc.iter_mut().zip(&v) {
                 *a = a.add(x);
             }
             gcs.write_vec(ctx, ti, tj, &acc);
         }
+        ctx.recycle(acc);
+        ctx.recycle(v);
     } else {
         // GS(I,J) = LS(I,J) + GS(I-1,J) + GS(I,J-1) - GS(I-1,J-1); every
         // neighbour is either out of the grid (zero), on an earlier
@@ -162,6 +172,13 @@ fn gsat_tile<T: DeviceElem>(
     let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
     tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
     store_tile(ctx, output, grid, ti, tj, &tile);
+    tile.release(ctx);
+    if let Some(v) = left {
+        ctx.recycle(v);
+    }
+    if let Some(v) = top {
+        ctx.recycle(v);
+    }
 }
 
 impl<T: DeviceElem> SatAlgorithm<T> for HybridR1W {

@@ -48,7 +48,8 @@ pub(crate) fn process_wave_tile<T: DeviceElem>(
     gs: &ScalarAux<T>,
 ) {
     let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-    let lrs_v = tile.row_sums(ctx);
+    let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+    tile.row_sums_into(ctx, &mut lrs_v);
     ctx.syncthreads();
 
     let left = if tj > 0 { Some(grs.read_vec(ctx, ti, tj - 1)) } else { None };
@@ -64,6 +65,7 @@ pub(crate) fn process_wave_tile<T: DeviceElem>(
         }
     }
     grs.write_vec(ctx, ti, tj, &grs_cur);
+    ctx.recycle(grs_cur);
     let mut gcs_cur = lcs_v;
     if let Some(t) = &top {
         for (a, b) in gcs_cur.iter_mut().zip(t) {
@@ -71,12 +73,20 @@ pub(crate) fn process_wave_tile<T: DeviceElem>(
         }
     }
     gcs.write_vec(ctx, ti, tj, &gcs_cur);
+    ctx.recycle(gcs_cur);
 
     tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
     // GS(I,J) is the bottom-right corner of GSAT(I,J) (paper §III-B).
     let gs_cur = tile.get(ctx, grid.w - 1, grid.w - 1);
     gs.write(ctx, ti, tj, gs_cur);
     store_tile(ctx, output, grid, ti, tj, &tile);
+    tile.release(ctx);
+    if let Some(v) = left {
+        ctx.recycle(v);
+    }
+    if let Some(v) = top {
+        ctx.recycle(v);
+    }
 }
 
 impl<T: DeviceElem> SatAlgorithm<T> for OneROneW {

@@ -68,15 +68,29 @@ fn diagonal_start(d: usize, t: usize) -> usize {
 }
 
 /// Inverse of [`serial_number`]: the tile a virtual block ID maps to.
+///
+/// Closed form, O(1): for serials before the main anti-diagonal the
+/// diagonal index solves the triangular-number inequality
+/// `d(d+1)/2 <= serial`, i.e. `d = floor((sqrt(8s+1) - 1) / 2)`; serials
+/// past it map through the 180-degree symmetry of the numbering,
+/// `serial_number(t-1-I, t-1-J) = t^2 - 1 - serial_number(I, J)`.
 pub fn tile_for_serial(serial: usize, t: usize) -> (usize, usize) {
     debug_assert!(serial < t * t);
-    // Find the diagonal by scanning starts; at most 2t - 1 steps.
-    let mut d = 0;
-    while diagonal_start(d + 1, t) <= serial {
+    if serial >= t * (t + 1) / 2 {
+        // Past the main anti-diagonal: reflect into the leading triangle.
+        let (ti, tj) = tile_for_serial(t * t - 1 - serial, t);
+        return (t - 1 - ti, t - 1 - tj);
+    }
+    // The float sqrt is a guess within +-1 of the true diagonal (exact
+    // below 2^52, and serial counts stay far under that); correct it.
+    let mut d = ((8 * serial + 1) as f64).sqrt() as usize / 2;
+    while (d + 1) * (d + 2) / 2 <= serial {
         d += 1;
     }
-    let idx = serial - diagonal_start(d, t);
-    let ti = d.saturating_sub(t - 1) + idx;
+    while d * (d + 1) / 2 > serial {
+        d -= 1;
+    }
+    let ti = serial - d * (d + 1) / 2;
     (ti, d - ti)
 }
 
@@ -151,29 +165,33 @@ impl<T: DeviceElem> State<T> {
     /// summing `LRS` vectors until some predecessor's `GRS` appears.
     fn look_back_grs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool) -> Vec<T> {
         let w = self.grid.w;
-        let mut acc = vec![T::zero(); w];
+        let mut acc: Vec<T> = ctx.scratch(w);
         if tj == 0 {
             return acc;
         }
         if !decoupled {
             // Ablation: coupled wait for the left neighbour's GRS.
             self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti, tj - 1), R_GRS);
-            return self.grs.read_vec(ctx, ti, tj - 1);
+            self.grs.read_vec_into(ctx, ti, tj - 1, &mut acc);
+            return acc;
         }
+        let mut tmp: Vec<T> = ctx.scratch(w);
         let mut j = tj - 1;
         loop {
             let st = self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti, j), R_LRS);
-            if st >= R_GRS {
-                for (a, b) in acc.iter_mut().zip(self.grs.read_vec(ctx, ti, j)) {
-                    *a = a.add(b);
-                }
-                return acc;
-            }
-            for (a, b) in acc.iter_mut().zip(self.lrs.read_vec(ctx, ti, j)) {
+            let done = if st >= R_GRS {
+                self.grs.read_vec_into(ctx, ti, j, &mut tmp);
+                true
+            } else {
+                self.lrs.read_vec_into(ctx, ti, j, &mut tmp);
+                // GRS(I,0) = LRS(I,0): the walk is complete at column 0.
+                j == 0
+            };
+            for (a, &b) in acc.iter_mut().zip(&tmp) {
                 *a = a.add(b);
             }
-            if j == 0 {
-                // GRS(I,0) = LRS(I,0): the walk is complete.
+            if done {
+                ctx.recycle(tmp);
                 return acc;
             }
             j -= 1;
@@ -184,27 +202,31 @@ impl<T: DeviceElem> State<T> {
     /// `GCS(I-1, J)`.
     fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool) -> Vec<T> {
         let w = self.grid.w;
-        let mut acc = vec![T::zero(); w];
+        let mut acc: Vec<T> = ctx.scratch(w);
         if ti == 0 {
             return acc;
         }
         if !decoupled {
             self.c_flags.wait_at_least(ctx, self.grid.tile_index(ti - 1, tj), C_GCS);
-            return self.gcs.read_vec(ctx, ti - 1, tj);
+            self.gcs.read_vec_into(ctx, ti - 1, tj, &mut acc);
+            return acc;
         }
+        let mut tmp: Vec<T> = ctx.scratch(w);
         let mut i = ti - 1;
         loop {
             let st = self.c_flags.wait_at_least(ctx, self.grid.tile_index(i, tj), C_LCS);
-            if st >= C_GCS {
-                for (a, b) in acc.iter_mut().zip(self.gcs.read_vec(ctx, i, tj)) {
-                    *a = a.add(b);
-                }
-                return acc;
-            }
-            for (a, b) in acc.iter_mut().zip(self.lcs.read_vec(ctx, i, tj)) {
+            let done = if st >= C_GCS {
+                self.gcs.read_vec_into(ctx, i, tj, &mut tmp);
+                true
+            } else {
+                self.lcs.read_vec_into(ctx, i, tj, &mut tmp);
+                i == 0
+            };
+            for (a, &b) in acc.iter_mut().zip(&tmp) {
                 *a = a.add(b);
             }
-            if i == 0 {
+            if done {
+                ctx.recycle(tmp);
                 return acc;
             }
             i -= 1;
@@ -272,19 +294,22 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 // Step 1: tile into shared memory (diagonal arrangement),
                 // column sums computed during the copy.
                 let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, self.arrangement);
-                let lrs_v = tile.row_sums(ctx);
+                let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+                tile.row_sums_into(ctx, &mut lrs_v);
                 ctx.syncthreads();
 
                 // Step 2.A: publish LRS, look back for GRS(I,J-1), publish GRS.
                 state.lrs.write_vec(ctx, ti, tj, &lrs_v);
                 state.r_flags.publish(ctx, idx, R_LRS);
                 let grs_left = state.look_back_grs(ctx, ti, tj, self.decoupled);
-                let mut grs_cur = lrs_v.clone();
+                let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
+                grs_cur.copy_from_slice(&lrs_v);
                 for (a, b) in grs_cur.iter_mut().zip(&grs_left) {
                     *a = a.add(*b);
                 }
                 state.grs.write_vec(ctx, ti, tj, &grs_cur);
                 state.r_flags.publish(ctx, idx, R_GRS);
+                ctx.recycle(grs_cur);
 
                 // Step 2.B: the same for columns.
                 state.lcs.write_vec(ctx, ti, tj, &lcs_v);
@@ -296,6 +321,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 }
                 state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
                 state.c_flags.publish(ctx, idx, C_GCS);
+                ctx.recycle(gcs_cur);
 
                 // Step 3.1: GLS(I,J) = sum(GRS(I,J-1)) + sum(GCS(I-1,J)) +
                 // sum(LRS(I,J)) — the L-shaped strip (Fig. 11). The sums
@@ -316,6 +342,10 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 let top = (ti > 0).then_some(gcs_top.as_slice());
                 tile_gsat_in_place(ctx, &mut tile, left, top, gs_prev);
                 store_tile(ctx, output, grid, ti, tj, &tile);
+                tile.release(ctx);
+                ctx.recycle(lrs_v);
+                ctx.recycle(grs_left);
+                ctx.recycle(gcs_top);
             }
         }));
         run
@@ -344,9 +374,9 @@ mod tests {
             [9, 13, 17, 20, 22],
             [14, 18, 21, 23, 24],
         ];
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(serial_number(i, j, 5), expect[i][j], "({i},{j})");
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                assert_eq!(serial_number(i, j, 5), want, "({i},{j})");
             }
         }
     }

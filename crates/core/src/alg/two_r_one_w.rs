@@ -58,12 +58,16 @@ impl<T: DeviceElem> SatAlgorithm<T> for TwoROneW {
         run.push(gpu.launch(LaunchConfig::new("2r1w_k1", grid.tiles(), tpb), |ctx| {
             let (ti, tj) = (ctx.block_idx() / t, ctx.block_idx() % t);
             let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-            let lrs_v = tile.row_sums(ctx);
+            let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+            tile.row_sums_into(ctx, &mut lrs_v);
+            tile.release(ctx);
             ctx.syncthreads();
             let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
             lrs.write_vec(ctx, ti, tj, &lrs_v);
             lcs.write_vec(ctx, ti, tj, &lcs_v);
             ls.write(ctx, ti, tj, total);
+            ctx.recycle(lrs_v);
+            ctx.recycle(lcs_v);
         }));
 
         // Kernel 2: global sums. Blocks 0..t scan tile-rows (GRS), blocks
@@ -74,24 +78,30 @@ impl<T: DeviceElem> SatAlgorithm<T> for TwoROneW {
             let b = ctx.block_idx();
             if b < t {
                 let ti = b;
-                let mut acc = vec![T::zero(); grid.w];
+                let mut acc: Vec<T> = ctx.scratch(grid.w);
+                let mut v: Vec<T> = ctx.scratch(grid.w);
                 for tj in 0..t {
-                    let v = lrs.read_vec(ctx, ti, tj);
-                    for (a, x) in acc.iter_mut().zip(v) {
+                    lrs.read_vec_into(ctx, ti, tj, &mut v);
+                    for (a, &x) in acc.iter_mut().zip(&v) {
                         *a = a.add(x);
                     }
                     grs.write_vec(ctx, ti, tj, &acc);
                 }
+                ctx.recycle(acc);
+                ctx.recycle(v);
             } else if b < 2 * t {
                 let tj = b - t;
-                let mut acc = vec![T::zero(); grid.w];
+                let mut acc: Vec<T> = ctx.scratch(grid.w);
+                let mut v: Vec<T> = ctx.scratch(grid.w);
                 for ti in 0..t {
-                    let v = lcs.read_vec(ctx, ti, tj);
-                    for (a, x) in acc.iter_mut().zip(v) {
+                    lcs.read_vec_into(ctx, ti, tj, &mut v);
+                    for (a, &x) in acc.iter_mut().zip(&v) {
                         *a = a.add(x);
                     }
                     gcs.write_vec(ctx, ti, tj, &acc);
                 }
+                ctx.recycle(acc);
+                ctx.recycle(v);
             } else {
                 // SAT of the t x t LS grid, computed by one block ("we can
                 // simply use 2R2W algorithm for computing the GS").
@@ -118,6 +128,13 @@ impl<T: DeviceElem> SatAlgorithm<T> for TwoROneW {
             let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
             tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
             store_tile(ctx, output, grid, ti, tj, &tile);
+            tile.release(ctx);
+            if let Some(v) = left {
+                ctx.recycle(v);
+            }
+            if let Some(v) = top {
+                ctx.recycle(v);
+            }
         }));
 
         run

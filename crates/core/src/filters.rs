@@ -63,14 +63,20 @@ pub fn device_box_filter(
     gpu.launch(LaunchConfig::new("box_filter", blocks, tpb), |ctx| {
         let r_lo = ctx.block_idx() * rows_per_block;
         let r_hi = ((ctx.block_idx() + 1) * rows_per_block).min(n);
+        // The four SAT lookups stay scattered (that is the access pattern
+        // being modeled); the results are staged per row and written with
+        // one coalesced store.
+        let mut row: Vec<f64> = ctx.scratch(n);
         for i in r_lo..r_hi {
-            for j in 0..n {
+            for (j, r) in row.iter_mut().enumerate() {
                 let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
                 let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
                 let s = device_region_sum(ctx, sat, n, r0, r1, c0, c1);
-                out.write(ctx, i * n + j, s / area);
+                *r = s / area;
             }
+            out.store_row(ctx, i * n, &row);
         }
+        ctx.recycle(row);
     })
 }
 
@@ -92,16 +98,22 @@ pub fn device_window_variance(
     gpu.launch(LaunchConfig::new("window_variance", blocks, tpb), |ctx| {
         let r_lo = ctx.block_idx() * tpb;
         let r_hi = ((ctx.block_idx() + 1) * tpb).min(n);
+        let mut mean_row: Vec<f64> = ctx.scratch(n);
+        let mut var_row: Vec<f64> = ctx.scratch(n);
         for i in r_lo..r_hi {
             for j in 0..n {
                 let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
                 let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
                 let m = device_region_sum(ctx, sat, n, r0, r1, c0, c1) / area;
                 let m2 = device_region_sum(ctx, sat_sq, n, r0, r1, c0, c1) / area;
-                mean_out.write(ctx, i * n + j, m);
-                var_out.write(ctx, i * n + j, (m2 - m * m).max(0.0));
+                mean_row[j] = m;
+                var_row[j] = (m2 - m * m).max(0.0);
             }
+            mean_out.store_row(ctx, i * n, &mean_row);
+            var_out.store_row(ctx, i * n, &var_row);
         }
+        ctx.recycle(mean_row);
+        ctx.recycle(var_row);
     })
 }
 
@@ -123,15 +135,20 @@ pub fn device_adaptive_threshold(
     gpu.launch(LaunchConfig::new("adaptive_threshold", blocks, tpb), |ctx| {
         let r_lo = ctx.block_idx() * tpb;
         let r_hi = ((ctx.block_idx() + 1) * tpb).min(n);
+        let mut pixels: Vec<f64> = ctx.scratch(n);
+        let mut bits: Vec<u32> = ctx.scratch(n);
         for i in r_lo..r_hi {
+            image.load_row(ctx, i * n, &mut pixels);
             for j in 0..n {
                 let (r0, r1, c0, c1) = clamped_window(n, i, j, radius);
                 let area = ((r1 - r0 + 1) * (c1 - c0 + 1)) as f64;
                 let mean = device_region_sum(ctx, sat, n, r0, r1, c0, c1) / area;
-                let v = image.read(ctx, i * n + j);
-                out.write(ctx, i * n + j, u32::from(v > mean * (1.0 - sensitivity)));
+                bits[j] = u32::from(pixels[j] > mean * (1.0 - sensitivity));
             }
+            out.store_row(ctx, i * n, &bits);
         }
+        ctx.recycle(pixels);
+        ctx.recycle(bits);
     })
 }
 

@@ -62,7 +62,7 @@ impl<T: DeviceElem> Matrix<T> {
     /// Whether the matrix is square with side divisible by `w` — the
     /// shape contract of the tile-based SAT algorithms.
     pub fn is_tileable(&self, w: usize) -> bool {
-        self.rows == self.cols && w > 0 && self.rows % w == 0
+        self.rows == self.cols && w > 0 && self.rows.is_multiple_of(w)
     }
 
     /// Element access.

@@ -42,7 +42,7 @@ impl TileGrid {
     /// for both).
     pub fn new(n: usize, w: usize) -> Self {
         assert!(w > 0 && n > 0, "empty tiling");
-        assert!(n % w == 0, "matrix side {n} must be a multiple of the tile width {w}");
+        assert!(n.is_multiple_of(w), "matrix side {n} must be a multiple of the tile width {w}");
         TileGrid { n, w, t: n / w }
     }
 
@@ -204,9 +204,15 @@ impl<T: DeviceElem> VecAux<T> {
 
     /// Coalesced read of tile `(I,J)`'s vector.
     pub fn read_vec(&self, ctx: &mut BlockCtx, ti: usize, tj: usize) -> Vec<T> {
-        let mut v = vec![T::zero(); self.grid.w];
+        let mut v = ctx.scratch(self.grid.w);
         self.buf.load_row(ctx, self.base(ti, tj), &mut v);
         v
+    }
+
+    /// Coalesced read of tile `(I,J)`'s vector into a caller buffer.
+    pub fn read_vec_into(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.grid.w);
+        self.buf.load_row(ctx, self.base(ti, tj), dst);
     }
 
     /// Coalesced write of tile `(I,J)`'s vector.
@@ -265,13 +271,8 @@ pub fn load_tile<T: DeviceElem>(
     tj: usize,
     arrangement: Arrangement,
 ) -> SharedTile<T> {
-    let w = grid.w;
-    let mut tile = SharedTile::alloc(ctx, w, arrangement);
-    let mut row = vec![T::zero(); w];
-    for i in 0..w {
-        input.load_row(ctx, grid.elem_offset(ti, tj, i, 0), &mut row);
-        tile.write_row_from(ctx, i, &row);
-    }
+    let mut tile = SharedTile::alloc_scratch(ctx, grid.w, arrangement);
+    tile.load_from_global(ctx, input, grid.elem_offset(ti, tj, 0, 0), grid.n);
     tile
 }
 
@@ -286,17 +287,9 @@ pub fn load_tile_with_col_sums<T: DeviceElem>(
     tj: usize,
     arrangement: Arrangement,
 ) -> (SharedTile<T>, Vec<T>) {
-    let w = grid.w;
-    let mut tile = SharedTile::alloc(ctx, w, arrangement);
-    let mut col_sums = vec![T::zero(); w];
-    let mut row = vec![T::zero(); w];
-    for i in 0..w {
-        input.load_row(ctx, grid.elem_offset(ti, tj, i, 0), &mut row);
-        for (s, &v) in col_sums.iter_mut().zip(&row) {
-            *s = s.add(v);
-        }
-        tile.write_row_from(ctx, i, &row);
-    }
+    let mut tile = SharedTile::alloc_scratch(ctx, grid.w, arrangement);
+    let mut col_sums: Vec<T> = ctx.scratch(grid.w);
+    tile.load_from_global_with_col_sums(ctx, input, grid.elem_offset(ti, tj, 0, 0), grid.n, &mut col_sums);
     (tile, col_sums)
 }
 
@@ -310,12 +303,7 @@ pub fn store_tile<T: DeviceElem>(
     tj: usize,
     tile: &SharedTile<T>,
 ) {
-    let w = grid.w;
-    let mut row = vec![T::zero(); w];
-    for i in 0..w {
-        tile.copy_row_into(ctx, i, &mut row);
-        output.store_row(ctx, grid.elem_offset(ti, tj, i, 0), &row);
-    }
+    tile.store_to_global(ctx, output, grid.elem_offset(ti, tj, 0, 0), grid.n);
 }
 
 /// Fold carried borders into a tile before its local SAT: add
@@ -354,9 +342,10 @@ pub fn tile_gsat_in_place<T: DeviceElem>(
 ) {
     apply_borders(ctx, tile, left, top, corner);
     ctx.syncthreads();
-    tile.scan_rows(ctx);
+    tile.sat_in_place(ctx);
+    // The fused scan stands in for two barrier-separated passes; charge
+    // both barriers so the counters match the unfused sequence.
     ctx.syncthreads();
-    tile.scan_cols(ctx);
     ctx.syncthreads();
 }
 
@@ -407,20 +396,20 @@ mod tests {
         for ti in 0..3 {
             for tj in 0..3 {
                 let ls = sums.ls(ti, tj);
-                let from_lrs = sums.lrs(ti, tj).into_iter().fold(0u64, |x, y| x + y);
-                let from_lcs = sums.lcs(ti, tj).into_iter().fold(0u64, |x, y| x + y);
+                let from_lrs: u64 = sums.lrs(ti, tj).into_iter().sum();
+                let from_lcs: u64 = sums.lcs(ti, tj).into_iter().sum();
                 assert_eq!(ls, from_lrs);
                 assert_eq!(ls, from_lcs);
             }
         }
         // GRS(I, t-1) sums a full matrix row strip.
         let grs = sums.grs(1, 2);
-        for i in 0..4 {
+        for (i, &got) in grs.iter().enumerate() {
             let mut expect = 0u64;
             for j in 0..12 {
                 expect += a.get(4 + i, j);
             }
-            assert_eq!(grs[i], expect);
+            assert_eq!(got, expect);
         }
         // GS(t-1, t-1) is the total sum.
         let total: u64 = a.as_slice().iter().sum();

@@ -18,10 +18,13 @@
 //!   blocks with bounded residency, like SMs do. Flag spinning, atomic ID
 //!   assignment, and publication ordering are exercised for real.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::device::DeviceConfig;
+use crate::elem::DeviceElem;
 use crate::metrics::{BlockStats, CriticalPath, KernelAccumulator, KernelMetrics};
 use crate::trace::{EventKind, Tracer};
 
@@ -70,7 +73,17 @@ impl DispatchOrder {
                     z ^ (z >> 31)
                 };
                 for i in (1..blocks).rev() {
-                    let j = (next() % (i as u64 + 1)) as usize;
+                    // Unbiased bounded sampling (Lemire's multiply-and-
+                    // reject): `next() % bound` would favor small values
+                    // whenever bound does not divide 2^64.
+                    let bound = i as u64 + 1;
+                    let threshold = bound.wrapping_neg() % bound;
+                    let j = loop {
+                        let m = (next() as u128) * (bound as u128);
+                        if (m as u64) >= threshold {
+                            break (m >> 64) as usize;
+                        }
+                    };
                     order.swap(i, j);
                 }
             }
@@ -123,14 +136,58 @@ impl LaunchConfig {
     }
 }
 
+/// A per-worker pool of reusable scratch buffers, keyed by element type.
+///
+/// Block bodies that need temporary storage (a staged tile row, a look-back
+/// accumulator, a shared-memory backing array) draw it through
+/// [`BlockCtx::scratch`] and hand it back with [`BlockCtx::recycle`]. The
+/// pool lives for the whole launch — one instance per worker thread — so in
+/// steady state block bodies perform **zero** heap allocations: every
+/// buffer is reused from an earlier block that ran on the same worker.
+///
+/// Buffers are typed `Vec<T>`s stored behind `dyn Any`; a take clears the
+/// buffer and zero-fills it to the requested length, so a scratch buffer is
+/// indistinguishable from a fresh `vec![T::zero(); len]`.
+#[derive(Default)]
+pub struct ScratchArena {
+    pools: HashMap<TypeId, Vec<Box<dyn Any>>>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
+        let pool = self.pools.entry(TypeId::of::<T>()).or_default();
+        let mut v: Vec<T> = match pool.pop() {
+            Some(b) => *b.downcast::<Vec<T>>().expect("scratch pool holds Vec<T>"),
+            None => Vec::new(),
+        };
+        v.clear();
+        v.resize(len, T::zero());
+        v
+    }
+
+    fn put<T: DeviceElem>(&mut self, v: Vec<T>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.pools.entry(TypeId::of::<T>()).or_default().push(Box::new(v));
+    }
+}
+
 /// Per-block execution context handed to the kernel body: the block's
-/// identity, its access counters, and the device description.
+/// identity, its access counters, the device description, and the worker's
+/// scratch arena.
 pub struct BlockCtx<'a> {
     block_idx: usize,
     threads_per_block: usize,
     sequential: bool,
     cfg: &'a DeviceConfig,
     tracer: Option<&'a Tracer>,
+    arena: &'a mut ScratchArena,
     /// The block's access counters; buffer and tile accessors charge here.
     pub stats: BlockStats,
 }
@@ -180,6 +237,21 @@ impl<'a> BlockCtx<'a> {
         if let Some(t) = self.tracer {
             t.record(self.block_idx, kind);
         }
+    }
+
+    /// Take a zero-initialized scratch buffer of `len` elements from the
+    /// worker's reusable pool. Semantically identical to
+    /// `vec![T::zero(); len]`, but after warmup the buffer comes from an
+    /// earlier block on the same worker instead of the heap. Hand it back
+    /// with [`BlockCtx::recycle`] when done; dropping it instead is
+    /// correct but forfeits the reuse.
+    pub fn scratch<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
+        self.arena.take(len)
+    }
+
+    /// Return a scratch buffer to the worker's pool for reuse.
+    pub fn recycle<T: DeviceElem>(&mut self, v: Vec<T>) {
+        self.arena.put(v);
     }
 }
 
@@ -274,6 +346,9 @@ impl Gpu {
 
         match self.mode {
             ExecMode::Sequential => {
+                // One scratch arena for the whole launch: block N+1 reuses
+                // the buffers block N recycled.
+                let mut arena = ScratchArena::new();
                 for &b in &order {
                     let mut ctx = BlockCtx {
                         block_idx: b,
@@ -281,6 +356,7 @@ impl Gpu {
                         sequential: true,
                         cfg: &self.cfg,
                         tracer,
+                        arena: &mut arena,
                         stats: BlockStats::default(),
                     };
                     ctx.trace(EventKind::BlockStart);
@@ -290,7 +366,12 @@ impl Gpu {
                 }
             }
             ExecMode::Concurrent => {
-                let workers = self.cfg.host_workers.max(1).min(lc.blocks.max(1));
+                // More workers than host cores cannot add throughput — the
+                // simulation is CPU-bound — but oversubscription makes the
+                // soft-sync spin loops fight the producers they wait on for
+                // the same cores, so cap at the host's real parallelism.
+                let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                let workers = self.cfg.host_workers.max(1).min(cores).min(lc.blocks.max(1));
                 let cursor = AtomicUsize::new(0);
                 let cursor = &cursor;
                 let order = &order;
@@ -300,23 +381,28 @@ impl Gpu {
                 let tpb = lc.threads_per_block;
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
-                        scope.spawn(move || loop {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= order.len() {
-                                break;
+                        scope.spawn(move || {
+                            // Arena per worker thread: no sharing, no locks.
+                            let mut arena = ScratchArena::new();
+                            loop {
+                                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                if k >= order.len() {
+                                    break;
+                                }
+                                let mut ctx = BlockCtx {
+                                    block_idx: order[k],
+                                    threads_per_block: tpb,
+                                    sequential: false,
+                                    cfg,
+                                    tracer,
+                                    arena: &mut arena,
+                                    stats: BlockStats::default(),
+                                };
+                                ctx.trace(EventKind::BlockStart);
+                                body(&mut ctx);
+                                ctx.trace(EventKind::BlockEnd);
+                                acc_ref.absorb(&ctx.stats);
                             }
-                            let mut ctx = BlockCtx {
-                                block_idx: order[k],
-                                threads_per_block: tpb,
-                                sequential: false,
-                                cfg,
-                                tracer,
-                                stats: BlockStats::default(),
-                            };
-                            ctx.trace(EventKind::BlockStart);
-                            body(&mut ctx);
-                            ctx.trace(EventKind::BlockEnd);
-                            acc_ref.absorb(&ctx.stats);
                         });
                     }
                 });
@@ -416,17 +502,47 @@ mod tests {
 
     #[test]
     fn concurrent_matches_sequential_counters() {
+        // Exercises every bulk-transfer path plus the scratch arena: the
+        // aggregated counters must be identical whichever schedule ran.
         let run = |mode| {
             let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(mode);
-            let buf = GlobalBuffer::<u64>::zeroed(256);
+            let buf = GlobalBuffer::<u64>::zeroed(512);
+            let src = GlobalBuffer::<u64>::zeroed(512);
             let m = gpu.launch(LaunchConfig::new("sum", 16, 64), |ctx| {
                 let base = ctx.block_idx() * 16;
-                let mut tmp = vec![0u64; 16];
+                let mut tmp = ctx.scratch::<u64>(16);
                 buf.load_row(ctx, base, &mut tmp);
                 buf.store_row(ctx, base, &tmp);
+                buf.load_2d(ctx, base, 4, 4, &mut tmp);
+                buf.store_2d(ctx, base, 4, 4, &tmp);
+                buf.fill(ctx, base, 8, 7);
+                buf.copy_from(ctx, base + 8, &src, base, 8);
+                buf.copy_within(ctx, base, 256 + base, 8);
+                ctx.recycle(tmp);
             });
             m.stats.deterministic()
         };
         assert_eq!(run(ExecMode::Sequential), run(ExecMode::Concurrent));
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_blocks() {
+        // Sequential execution uses one arena for the whole launch, so
+        // after the first block every scratch take must be pool-served:
+        // capacity comes back >= what the first block recycled, and the
+        // contents are freshly zeroed either way.
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let seen = GlobalBuffer::<u64>::zeroed(8);
+        gpu.launch(LaunchConfig::new("scratch", 8, 32), |ctx| {
+            let big = ctx.block_idx() == 0;
+            let v = ctx.scratch::<u64>(if big { 64 } else { 16 });
+            assert!(v.iter().all(|&x| x == 0), "scratch is zero-initialized");
+            if !big {
+                assert!(v.capacity() >= 64, "later blocks reuse the first block's buffer");
+            }
+            seen.write(ctx, ctx.block_idx(), v.len() as u64);
+            ctx.recycle(v);
+        });
+        assert_eq!(seen.to_vec()[1..], [16; 7]);
     }
 }

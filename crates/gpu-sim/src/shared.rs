@@ -12,9 +12,24 @@
 //! makes both row-wise and column-wise warp accesses conflict-free, which
 //! is what lets the shared-memory SAT algorithm run its row pass and its
 //! column pass at full speed.
+//!
+//! Accounting is *batched*: each bulk operation charges its counters once
+//! up front (per warp-row of the access pattern), then runs a tight inner
+//! loop over plain slices. The charged totals are bit-identical to
+//! per-element accounting (see `DESIGN.md`, "bulk accounting contract").
+//!
+//! The arrangement is *analytic*: conflict degrees are derived from the
+//! arrangement's offset formula (dealing one warp's offsets into banks),
+//! while the backing store itself is kept logically row-major so every
+//! bulk operation is a straight slice copy or zip the compiler can
+//! vectorize. Physically permuting the buffer would change no counter —
+//! shared memory is private to the block and only the *model* of which
+//! bank each lane hits matters — so the simulator keeps the fast layout
+//! and charges the modeled one.
 
 use crate::device::WARP;
 use crate::elem::DeviceElem;
+use crate::global::GlobalBuffer;
 use crate::launch::BlockCtx;
 
 /// Physical layout of a tile in shared memory.
@@ -44,19 +59,36 @@ impl<T: DeviceElem> SharedTile<T> {
     /// shared memory capacity per block — the same hard limit that caps
     /// the paper's `W` at 128 for 4-byte floats on TITAN V.
     pub fn alloc(ctx: &BlockCtx, w: usize, arrangement: Arrangement) -> Self {
+        Self::check_capacity(ctx, w);
+        Self::from_data(vec![T::zero(); w * w], w, arrangement)
+    }
+
+    /// Allocate like [`SharedTile::alloc`], but draw the backing store
+    /// from the worker's scratch arena so repeated tile allocations across
+    /// blocks reuse one heap buffer. Pair with [`SharedTile::release`].
+    pub fn alloc_scratch(ctx: &mut BlockCtx, w: usize, arrangement: Arrangement) -> Self {
+        Self::check_capacity(ctx, w);
+        let data = ctx.scratch::<T>(w * w);
+        Self::from_data(data, w, arrangement)
+    }
+
+    /// Return the tile's backing store to the worker's scratch arena.
+    pub fn release(self, ctx: &mut BlockCtx) {
+        ctx.recycle(self.data);
+    }
+
+    fn check_capacity(ctx: &BlockCtx, w: usize) {
         let bytes = w * w * T::BYTES as usize;
         assert!(
             bytes <= ctx.config().shared_mem_per_block,
             "tile {w}x{w} ({bytes} B) exceeds shared memory capacity ({} B)",
             ctx.config().shared_mem_per_block
         );
-        let mut tile = SharedTile {
-            w,
-            arrangement,
-            data: vec![T::zero(); w * w],
-            row_conflict: 1,
-            col_conflict: 1,
-        };
+    }
+
+    fn from_data(data: Vec<T>, w: usize, arrangement: Arrangement) -> Self {
+        debug_assert_eq!(data.len(), w * w);
+        let mut tile = SharedTile { w, arrangement, data, row_conflict: 1, col_conflict: 1 };
         tile.row_conflict = tile.measure_conflict(true);
         tile.col_conflict = tile.measure_conflict(false);
         tile
@@ -72,9 +104,18 @@ impl<T: DeviceElem> SharedTile<T> {
         self.arrangement
     }
 
-    /// Physical offset of logical element `(i, j)`.
+    /// Offset of logical element `(i, j)` in the backing store (always
+    /// row-major; see the module docs — the arrangement is an accounting
+    /// model, not a physical permutation).
     #[inline(always)]
     fn offset(&self, i: usize, j: usize) -> usize {
+        i * self.w + j
+    }
+
+    /// Offset the *modeled* arrangement would place `(i, j)` at; the bank
+    /// each lane hits is derived from this, never from the backing store.
+    #[inline(always)]
+    fn model_offset(&self, i: usize, j: usize) -> usize {
         match self.arrangement {
             Arrangement::RowMajor => i * self.w + j,
             Arrangement::Diagonal => i * self.w + (i + j) % self.w,
@@ -83,12 +124,13 @@ impl<T: DeviceElem> SharedTile<T> {
 
     /// Degree of the worst bank conflict of one warp access along a row
     /// (`along_row = true`) or a column, measured by dealing the first
-    /// warp's offsets into banks. A result of 1 means conflict-free.
+    /// warp's modeled offsets into banks. A result of 1 means
+    /// conflict-free.
     fn measure_conflict(&self, along_row: bool) -> u64 {
         let lanes = WARP.min(self.w);
         let mut counts = [0u64; WARP];
         for lane in 0..lanes {
-            let off = if along_row { self.offset(0, lane) } else { self.offset(lane, 0) };
+            let off = if along_row { self.model_offset(0, lane) } else { self.model_offset(lane, 0) };
             counts[off % WARP] += 1;
         }
         counts.iter().copied().max().unwrap_or(1).max(1)
@@ -115,6 +157,17 @@ impl<T: DeviceElem> SharedTile<T> {
         ctx.stats.bank_conflict_cycles += warps * (degree - 1);
     }
 
+    /// Charge `rows` separate warp accesses of `row_len` elements each at
+    /// the given conflict degree — bit-identical to `rows` calls of
+    /// [`SharedTile::account`] with `row_len` elements (the partial last
+    /// warp of each row is charged per row, not amortized across rows).
+    #[inline]
+    fn account_rows(ctx: &mut BlockCtx, rows: u64, row_len: u64, degree: u64) {
+        ctx.stats.shared_accesses += rows * row_len;
+        let warps_per_row = row_len.div_ceil(WARP as u64);
+        ctx.stats.bank_conflict_cycles += rows * warps_per_row * (degree - 1);
+    }
+
     /// Scalar read (accounted, assumed conflict-free).
     #[inline]
     pub fn get(&self, ctx: &mut BlockCtx, i: usize, j: usize) -> T {
@@ -139,17 +192,15 @@ impl<T: DeviceElem> SharedTile<T> {
     pub fn copy_row_into(&self, ctx: &mut BlockCtx, i: usize, dst: &mut [T]) {
         assert_eq!(dst.len(), self.w);
         Self::account(ctx, self.w as u64, self.row_conflict);
-        for j in 0..self.w {
-            dst[j] = self.data[self.offset(i, j)];
-        }
+        dst.copy_from_slice(&self.data[i * self.w..(i + 1) * self.w]);
     }
 
     /// Copy column `j` into `dst` (column-wise warp access).
     pub fn copy_col_into(&self, ctx: &mut BlockCtx, j: usize, dst: &mut [T]) {
         assert_eq!(dst.len(), self.w);
         Self::account(ctx, self.w as u64, self.col_conflict);
-        for i in 0..self.w {
-            dst[i] = self.data[self.offset(i, j)];
+        for (d, row) in dst.iter_mut().zip(self.data.chunks_exact(self.w)) {
+            *d = row[j];
         }
     }
 
@@ -157,19 +208,15 @@ impl<T: DeviceElem> SharedTile<T> {
     pub fn write_row_from(&mut self, ctx: &mut BlockCtx, i: usize, src: &[T]) {
         assert_eq!(src.len(), self.w);
         Self::account(ctx, self.w as u64, self.row_conflict);
-        for j in 0..self.w {
-            let off = self.offset(i, j);
-            self.data[off] = src[j];
-        }
+        self.data[i * self.w..(i + 1) * self.w].copy_from_slice(src);
     }
 
     /// Overwrite column `j` from `src` (column-wise warp access).
     pub fn write_col_from(&mut self, ctx: &mut BlockCtx, j: usize, src: &[T]) {
         assert_eq!(src.len(), self.w);
         Self::account(ctx, self.w as u64, self.col_conflict);
-        for i in 0..self.w {
-            let off = self.offset(i, j);
-            self.data[off] = src[i];
+        for (s, row) in src.iter().zip(self.data.chunks_exact_mut(self.w)) {
+            row[j] = *s;
         }
     }
 
@@ -178,9 +225,9 @@ impl<T: DeviceElem> SharedTile<T> {
     pub fn add_to_row(&mut self, ctx: &mut BlockCtx, i: usize, src: &[T]) {
         assert_eq!(src.len(), self.w);
         Self::account(ctx, 2 * self.w as u64, self.row_conflict);
-        for j in 0..self.w {
-            let off = self.offset(i, j);
-            self.data[off] = self.data[off].add(src[j]);
+        let row = &mut self.data[i * self.w..(i + 1) * self.w];
+        for (d, s) in row.iter_mut().zip(src) {
+            *d = d.add(*s);
         }
     }
 
@@ -189,10 +236,65 @@ impl<T: DeviceElem> SharedTile<T> {
     pub fn add_to_col(&mut self, ctx: &mut BlockCtx, j: usize, src: &[T]) {
         assert_eq!(src.len(), self.w);
         Self::account(ctx, 2 * self.w as u64, self.col_conflict);
-        for i in 0..self.w {
-            let off = self.offset(i, j);
-            self.data[off] = self.data[off].add(src[i]);
+        for (s, row) in src.iter().zip(self.data.chunks_exact_mut(self.w)) {
+            row[j] = row[j].add(*s);
         }
+    }
+
+    /// Copy the whole tile into `dst` in logical row-major order;
+    /// accounted exactly like `w` consecutive [`SharedTile::copy_row_into`]
+    /// calls.
+    pub fn read_rows_into(&self, ctx: &mut BlockCtx, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.w * self.w);
+        Self::account_rows(ctx, self.w as u64, self.w as u64, self.row_conflict);
+        dst.copy_from_slice(&self.data);
+    }
+
+    /// Overwrite the whole tile from `src` in logical row-major order;
+    /// accounted exactly like `w` consecutive
+    /// [`SharedTile::write_row_from`] calls.
+    pub fn write_rows_from(&mut self, ctx: &mut BlockCtx, src: &[T]) {
+        assert_eq!(src.len(), self.w * self.w);
+        Self::account_rows(ctx, self.w as u64, self.w as u64, self.row_conflict);
+        self.data.copy_from_slice(src);
+    }
+
+    /// Load the whole tile straight from a 2-D window of global memory
+    /// (`w` coalesced row reads with the given stride), fused with the
+    /// shared-memory write: charges exactly [`GlobalBuffer::load_2d`] plus
+    /// [`SharedTile::write_rows_from`], with no staging pass in between.
+    pub fn load_from_global(&mut self, ctx: &mut BlockCtx, src: &GlobalBuffer<T>, offset: usize, stride: usize) {
+        Self::account_rows(ctx, self.w as u64, self.w as u64, self.row_conflict);
+        src.load_2d(ctx, offset, stride, self.w, &mut self.data);
+    }
+
+    /// [`SharedTile::load_from_global`], also accumulating the tile's
+    /// column sums into `sums` as the data streams past (unaccounted, like
+    /// reading the staging buffer would have been).
+    pub fn load_from_global_with_col_sums(
+        &mut self,
+        ctx: &mut BlockCtx,
+        src: &GlobalBuffer<T>,
+        offset: usize,
+        stride: usize,
+        sums: &mut [T],
+    ) {
+        assert_eq!(sums.len(), self.w);
+        self.load_from_global(ctx, src, offset, stride);
+        sums.fill(T::zero());
+        for row in self.data.chunks_exact(self.w) {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s = s.add(v);
+            }
+        }
+    }
+
+    /// Store the whole tile into a 2-D window of global memory, fused with
+    /// the shared-memory read: charges exactly
+    /// [`SharedTile::read_rows_into`] plus [`GlobalBuffer::store_2d`].
+    pub fn store_to_global(&self, ctx: &mut BlockCtx, dst: &GlobalBuffer<T>, offset: usize, stride: usize) {
+        Self::account_rows(ctx, self.w as u64, self.w as u64, self.row_conflict);
+        dst.store_2d(ctx, offset, stride, self.w, &self.data);
     }
 
     /// In-place row-wise inclusive prefix sums (paper's shared-memory SAT
@@ -206,12 +308,11 @@ impl<T: DeviceElem> SharedTile<T> {
         // One read of the previous element plus one read-modify-write of
         // the current element per step.
         Self::account(ctx, 2 * elems, self.col_conflict);
-        for i in 0..self.w {
-            let mut acc = self.data[self.offset(i, 0)];
-            for j in 1..self.w {
-                let off = self.offset(i, j);
-                acc = acc.add(self.data[off]);
-                self.data[off] = acc;
+        for row in self.data.chunks_exact_mut(self.w) {
+            let mut acc = row[0];
+            for v in &mut row[1..] {
+                acc = acc.add(*v);
+                *v = acc;
             }
         }
     }
@@ -221,38 +322,85 @@ impl<T: DeviceElem> SharedTile<T> {
     pub fn scan_cols(&mut self, ctx: &mut BlockCtx) {
         let elems = (self.w * (self.w - 1)) as u64;
         Self::account(ctx, 2 * elems, self.row_conflict);
-        for j in 0..self.w {
-            let mut acc = self.data[self.offset(0, j)];
-            for i in 1..self.w {
-                let off = self.offset(i, j);
-                acc = acc.add(self.data[off]);
-                self.data[off] = acc;
+        let w = self.w;
+        for i in 1..w {
+            let (above, below) = self.data.split_at_mut(i * w);
+            let prev = &above[(i - 1) * w..];
+            let cur = &mut below[..w];
+            for (c, p) in cur.iter_mut().zip(prev) {
+                *c = c.add(*p);
             }
+        }
+    }
+
+    /// In-place 2-D inclusive prefix sums: [`SharedTile::scan_rows`]
+    /// followed by [`SharedTile::scan_cols`], fused into one pass so each
+    /// element is touched once. Charges exactly the sum of the two scans.
+    pub fn sat_in_place(&mut self, ctx: &mut BlockCtx) {
+        let elems = (self.w * (self.w - 1)) as u64;
+        Self::account(ctx, 2 * elems, self.col_conflict);
+        Self::account(ctx, 2 * elems, self.row_conflict);
+        let w = self.w;
+        if w == 0 {
+            return;
+        }
+        let first = &mut self.data[..w];
+        let mut acc = first[0];
+        for v in &mut first[1..] {
+            acc = acc.add(*v);
+            *v = acc;
+        }
+        for i in 1..w {
+            let (above, below) = self.data.split_at_mut(i * w);
+            let prev = &above[(i - 1) * w..];
+            let cur = &mut below[..w];
+            let mut run = T::zero();
+            for (c, p) in cur.iter_mut().zip(prev) {
+                run = run.add(*c);
+                *c = run.add(*p);
+            }
+        }
+    }
+
+    /// Column sums of the tile written into `sums` (one pass of row-wise
+    /// warp accesses).
+    pub fn col_sums_into(&self, ctx: &mut BlockCtx, sums: &mut [T]) {
+        assert_eq!(sums.len(), self.w);
+        Self::account(ctx, (self.w * self.w) as u64, self.row_conflict);
+        sums.fill(T::zero());
+        for row in self.data.chunks_exact(self.w) {
+            for (s, v) in sums.iter_mut().zip(row) {
+                *s = s.add(*v);
+            }
+        }
+    }
+
+    /// Row sums of the tile written into `sums` (one pass of column-wise
+    /// warp accesses, each thread reducing its own row).
+    pub fn row_sums_into(&self, ctx: &mut BlockCtx, sums: &mut [T]) {
+        assert_eq!(sums.len(), self.w);
+        Self::account(ctx, (self.w * self.w) as u64, self.col_conflict);
+        for (s, row) in sums.iter_mut().zip(self.data.chunks_exact(self.w)) {
+            let mut acc = T::zero();
+            for v in row {
+                acc = acc.add(*v);
+            }
+            *s = acc;
         }
     }
 
     /// Column sums of the tile (one pass of row-wise warp accesses).
     pub fn col_sums(&self, ctx: &mut BlockCtx) -> Vec<T> {
-        Self::account(ctx, (self.w * self.w) as u64, self.row_conflict);
         let mut sums = vec![T::zero(); self.w];
-        for i in 0..self.w {
-            for j in 0..self.w {
-                sums[j] = sums[j].add(self.data[self.offset(i, j)]);
-            }
-        }
+        self.col_sums_into(ctx, &mut sums);
         sums
     }
 
     /// Row sums of the tile (one pass of row-wise warp accesses, each
     /// thread reducing its own row).
     pub fn row_sums(&self, ctx: &mut BlockCtx) -> Vec<T> {
-        Self::account(ctx, (self.w * self.w) as u64, self.col_conflict);
         let mut sums = vec![T::zero(); self.w];
-        for i in 0..self.w {
-            for j in 0..self.w {
-                sums[i] = sums[i].add(self.data[self.offset(i, j)]);
-            }
-        }
+        self.row_sums_into(ctx, &mut sums);
         sums
     }
 }
@@ -298,8 +446,10 @@ mod tests {
 
     #[test]
     fn fig3_diagonal_arrangement_w4() {
-        // The paper's Figure 3 example: with w = 4, a[i][j] sits at offset
-        // i*w + (i+j) mod w. Verify the permutation row by row.
+        // The paper's Figure 3 example: with w = 4, a[i][j] is *modeled* at
+        // offset i*w + (i+j) mod w. The logical view is unaffected by the
+        // arrangement, and the model makes a warp walking column 0 hit
+        // banks 0, 1+4, 2+8, 3+12 — all distinct mod the warp width.
         with_ctx(|ctx| {
             let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
             for i in 0..4 {
@@ -307,15 +457,15 @@ mod tests {
                     t.set(ctx, i, j, (10 * i + j) as u32);
                 }
             }
-            // Row 1 is stored rotated by one: offsets 4..8 hold
-            // a[1][3], a[1][0], a[1][1], a[1][2].
             assert_eq!(t.peek(1, 0), 10);
             assert_eq!(t.peek(1, 3), 13);
-            // Logical view is unchanged by the physical rotation.
             for i in 0..4 {
                 for j in 0..4 {
                     assert_eq!(t.peek(i, j), (10 * i + j) as u32);
                 }
+            }
+            for i in 0..4 {
+                assert_eq!(t.model_offset(i, 0) % 4, i, "lane {i} bank");
             }
         });
     }
@@ -342,17 +492,21 @@ mod tests {
     #[test]
     fn scan_rows_then_cols_is_a_sat() {
         with_ctx(|ctx| {
-            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
-            for i in 0..4 {
-                for j in 0..4 {
-                    t.set(ctx, i, j, 1);
-                }
-            }
-            t.scan_rows(ctx);
-            t.scan_cols(ctx);
-            for i in 0..4 {
-                for j in 0..4 {
-                    assert_eq!(t.peek(i, j), ((i + 1) * (j + 1)) as u32);
+            for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+                for w in [4usize, 5, 32, 33] {
+                    let mut t = SharedTile::<u32>::alloc(ctx, w, arr);
+                    for i in 0..w {
+                        for j in 0..w {
+                            t.set(ctx, i, j, 1);
+                        }
+                    }
+                    t.scan_rows(ctx);
+                    t.scan_cols(ctx);
+                    for i in 0..w {
+                        for j in 0..w {
+                            assert_eq!(t.peek(i, j), ((i + 1) * (j + 1)) as u32, "{arr:?} w={w} ({i},{j})");
+                        }
+                    }
                 }
             }
         });
@@ -361,45 +515,141 @@ mod tests {
     #[test]
     fn row_and_col_copies() {
         with_ctx(|ctx| {
-            let mut t = SharedTile::<u32>::alloc(ctx, 32, Arrangement::Diagonal);
-            let vals: Vec<u32> = (0..32).collect();
-            t.write_row_from(ctx, 3, &vals);
-            let mut row = vec![0u32; 32];
-            t.copy_row_into(ctx, 3, &mut row);
-            assert_eq!(row, vals);
+            for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+                let mut t = SharedTile::<u32>::alloc(ctx, 32, arr);
+                let vals: Vec<u32> = (0..32).collect();
+                t.write_row_from(ctx, 3, &vals);
+                let mut row = vec![0u32; 32];
+                t.copy_row_into(ctx, 3, &mut row);
+                assert_eq!(row, vals, "{arr:?}");
 
-            t.write_col_from(ctx, 5, &vals);
-            let mut col = vec![0u32; 32];
-            t.copy_col_into(ctx, 5, &mut col);
-            assert_eq!(col, vals);
+                t.write_col_from(ctx, 5, &vals);
+                let mut col = vec![0u32; 32];
+                t.copy_col_into(ctx, 5, &mut col);
+                assert_eq!(col, vals, "{arr:?}");
+            }
         });
     }
 
     #[test]
     fn add_to_col_and_row() {
         with_ctx(|ctx| {
-            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::Diagonal);
-            let ones = vec![1u32; 4];
-            t.add_to_col(ctx, 0, &ones);
-            t.add_to_row(ctx, 0, &ones);
-            assert_eq!(t.peek(0, 0), 2);
-            assert_eq!(t.peek(1, 0), 1);
-            assert_eq!(t.peek(0, 1), 1);
-            assert_eq!(t.peek(1, 1), 0);
+            for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+                let mut t = SharedTile::<u32>::alloc(ctx, 4, arr);
+                let ones = vec![1u32; 4];
+                t.add_to_col(ctx, 0, &ones);
+                t.add_to_row(ctx, 0, &ones);
+                assert_eq!(t.peek(0, 0), 2, "{arr:?}");
+                assert_eq!(t.peek(1, 0), 1, "{arr:?}");
+                assert_eq!(t.peek(0, 1), 1, "{arr:?}");
+                assert_eq!(t.peek(1, 1), 0, "{arr:?}");
+            }
         });
     }
 
     #[test]
     fn sums() {
         with_ctx(|ctx| {
-            let mut t = SharedTile::<u32>::alloc(ctx, 4, Arrangement::RowMajor);
-            for i in 0..4 {
-                for j in 0..4 {
-                    t.set(ctx, i, j, (i + 1) as u32);
+            for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+                let mut t = SharedTile::<u32>::alloc(ctx, 4, arr);
+                for i in 0..4 {
+                    for j in 0..4 {
+                        t.set(ctx, i, j, (i + 1) as u32);
+                    }
+                }
+                assert_eq!(t.col_sums(ctx), vec![10; 4], "{arr:?}");
+                assert_eq!(t.row_sums(ctx), vec![4, 8, 12, 16], "{arr:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn whole_tile_ops_roundtrip_and_match_per_row_accounting() {
+        // read_rows_into/write_rows_from must move the same data and
+        // charge the same counters as w copy_row_into/write_row_from
+        // calls — including at w = 5, where the partial warp of each row
+        // is charged per row and a single account(w*w) call would differ.
+        for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+            for w in [5usize, 32] {
+                let gpu = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Sequential);
+                let vals: Vec<u32> = (0..(w * w) as u32).collect();
+                let per_row = gpu.launch(LaunchConfig::new("rows", 1, 32), |ctx| {
+                    let mut t = SharedTile::<u32>::alloc(ctx, w, arr);
+                    for (i, chunk) in vals.chunks_exact(w).enumerate() {
+                        t.write_row_from(ctx, i, chunk);
+                    }
+                    let mut out = vec![0u32; w * w];
+                    for (i, chunk) in out.chunks_exact_mut(w).enumerate() {
+                        t.copy_row_into(ctx, i, chunk);
+                    }
+                    assert_eq!(out, vals);
+                });
+                let bulk = gpu.launch(LaunchConfig::new("bulk", 1, 32), |ctx| {
+                    let mut t = SharedTile::<u32>::alloc(ctx, w, arr);
+                    t.write_rows_from(ctx, &vals);
+                    let mut out = vec![0u32; w * w];
+                    t.read_rows_into(ctx, &mut out);
+                    assert_eq!(out, vals);
+                });
+                assert_eq!(
+                    per_row.stats.deterministic(),
+                    bulk.stats.deterministic(),
+                    "{arr:?} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sat_matches_two_scans_data_and_counters() {
+        for arr in [Arrangement::RowMajor, Arrangement::Diagonal] {
+            for w in [4usize, 5, 32, 33] {
+                let gpu = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Sequential);
+                let vals: Vec<u64> = (0..(w * w) as u64).map(|x| x % 7 + 1).collect();
+                let out_two = std::sync::Mutex::new(Vec::new());
+                let two = gpu.launch(LaunchConfig::new("two", 1, 32), |ctx| {
+                    let mut t = SharedTile::<u64>::alloc(ctx, w, arr);
+                    t.write_rows_from(ctx, &vals);
+                    t.scan_rows(ctx);
+                    t.scan_cols(ctx);
+                    let mut out = vec![0u64; w * w];
+                    t.read_rows_into(ctx, &mut out);
+                    *out_two.lock().unwrap() = out;
+                });
+                let out_fused = std::sync::Mutex::new(Vec::new());
+                let fused = gpu.launch(LaunchConfig::new("fused", 1, 32), |ctx| {
+                    let mut t = SharedTile::<u64>::alloc(ctx, w, arr);
+                    t.write_rows_from(ctx, &vals);
+                    t.sat_in_place(ctx);
+                    let mut out = vec![0u64; w * w];
+                    t.read_rows_into(ctx, &mut out);
+                    *out_fused.lock().unwrap() = out;
+                });
+                assert_eq!(*out_two.lock().unwrap(), *out_fused.lock().unwrap(), "{arr:?} w={w}");
+                assert_eq!(two.stats.deterministic(), fused.stats.deterministic(), "{arr:?} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_tile_matches_fresh_tile() {
+        with_ctx(|ctx| {
+            let mut t = SharedTile::<u32>::alloc_scratch(ctx, 8, Arrangement::Diagonal);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(t.peek(i, j), 0, "scratch tile starts zeroed");
+                    t.set(ctx, i, j, (i * 8 + j) as u32);
                 }
             }
-            assert_eq!(t.col_sums(ctx), vec![10; 4]);
-            assert_eq!(t.row_sums(ctx), vec![4, 8, 12, 16]);
+            t.release(ctx);
+            // A second scratch tile reuses the buffer but must be zeroed.
+            let t2 = SharedTile::<u32>::alloc_scratch(ctx, 8, Arrangement::Diagonal);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(t2.peek(i, j), 0, "recycled tile is re-zeroed");
+                }
+            }
+            t2.release(ctx);
         });
     }
 

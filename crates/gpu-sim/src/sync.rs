@@ -147,7 +147,7 @@ impl StatusBoard {
                 );
             }
             // Let the producer's OS thread run; essential on few-core hosts.
-            if iters % 16 == 0 {
+            if iters.is_multiple_of(16) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -272,6 +272,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "monotone")]
+    #[cfg(debug_assertions)] // the guard is a debug_assert, absent in release
     fn decreasing_flag_is_rejected_in_debug() {
         // Failure injection: publishing a smaller status than already
         // present violates the monotonicity the look-back proof needs;

@@ -9,9 +9,8 @@
 //! it is the tool that was used to sanity-check the look-back's
 //! short-circuit behaviour.
 
+use std::sync::Mutex;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,32 +68,32 @@ impl Tracer {
     /// Record an event for `block`.
     pub fn record(&self, block: usize, kind: EventKind) {
         let nanos = self.epoch.elapsed().as_nanos() as u64;
-        self.events.lock().push(Event { block, nanos, kind });
+        self.events.lock().unwrap().push(Event { block, nanos, kind });
     }
 
     /// All events so far, in recording order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.events.lock().unwrap().clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().unwrap().len()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events.lock().unwrap().is_empty()
     }
 
     /// Discard all events (the epoch is kept).
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.events.lock().unwrap().clear();
     }
 
     /// Per-block `(start, end)` nanoseconds, indexed by block id.
     pub fn spans(&self) -> Vec<(usize, u64, u64)> {
-        let events = self.events.lock();
+        let events = self.events.lock().unwrap();
         let mut spans: Vec<(usize, u64, u64)> = Vec::new();
         for e in events.iter() {
             match e.kind {
@@ -137,7 +136,7 @@ impl Tracer {
 
     /// Summary counts per event kind.
     pub fn summary(&self) -> String {
-        let events = self.events.lock();
+        let events = self.events.lock().unwrap();
         let starts = events.iter().filter(|e| matches!(e.kind, EventKind::BlockStart)).count();
         let waits = events.iter().filter(|e| matches!(e.kind, EventKind::FlagWaited { .. })).count();
         let pubs = events.iter().filter(|e| matches!(e.kind, EventKind::FlagPublished { .. })).count();

@@ -95,7 +95,7 @@ pub fn block_inclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, vals: &mut [T]) {
         WARP * WARP,
         WARP
     );
-    let mut warp_totals = vec![T::zero(); warps];
+    let mut warp_totals: Vec<T> = ctx.scratch(warps);
     for (w, chunk) in vals.chunks_mut(WARP).enumerate() {
         warp_inclusive_scan(ctx, chunk);
         warp_totals[w] = chunk[chunk.len() - 1];
@@ -109,6 +109,7 @@ pub fn block_inclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, vals: &mut [T]) {
             *v = v.add(offset);
         }
     }
+    ctx.recycle(warp_totals);
 }
 
 #[cfg(test)]

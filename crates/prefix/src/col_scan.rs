@@ -102,20 +102,19 @@ pub fn device_col_scan<T: DeviceElem>(
 
         // 1. Read the strip and compute running column sums in the shared
         // buffer — no dependence on any other block.
-        let mut buf = vec![T::zero(); (r1 - r0) * width];
-        for (k, r) in (r0..r1).enumerate() {
-            input.load_row(ctx, r * cols + c0, &mut buf[k * width..(k + 1) * width]);
-            if k > 0 {
-                for j in 0..width {
-                    buf[k * width + j] = buf[k * width + j].add(buf[(k - 1) * width + j]);
-                }
+        let mut buf: Vec<T> = ctx.scratch((r1 - r0) * width);
+        input.load_2d(ctx, r0 * cols + c0, cols, width, &mut buf);
+        for k in 1..r1 - r0 {
+            let (prev, cur) = buf.split_at_mut(k * width);
+            for (c, p) in cur[..width].iter_mut().zip(&prev[(k - 1) * width..]) {
+                *c = c.add(*p);
             }
         }
         ctx.stats.shared_accesses += 2 * ((r1 - r0) * width) as u64;
         let agg_base = (r1 - r0 - 1) * width;
 
         // 2./3./4. Publish aggregate, look back, publish prefix.
-        let mut exclusive = vec![T::zero(); width];
+        let mut exclusive: Vec<T> = ctx.scratch(width);
         if strip == 0 {
             prefixes.store_row(ctx, c0, &buf[agg_base..agg_base + width]);
             status.publish(ctx, vid, COL_STATUS_PREFIX);
@@ -124,7 +123,7 @@ pub fn device_col_scan<T: DeviceElem>(
             status.publish(ctx, vid, COL_STATUS_AGGREGATE);
 
             let mut p = strip - 1;
-            let mut tmp = vec![T::zero(); width];
+            let mut tmp: Vec<T> = ctx.scratch(width);
             loop {
                 let st = status.wait_at_least(ctx, p * bands + band, COL_STATUS_AGGREGATE);
                 if st >= COL_STATUS_PREFIX {
@@ -141,24 +140,27 @@ pub fn device_col_scan<T: DeviceElem>(
                 // Strip 0 always publishes a prefix, so p never underflows.
                 p -= 1;
             }
-            let mut inclusive = vec![T::zero(); width];
-            for (k, (e, a)) in exclusive.iter().zip(&buf[agg_base..agg_base + width]).enumerate() {
-                inclusive[k] = e.add(*a);
+            let mut inclusive = tmp;
+            for (out, (e, a)) in inclusive.iter_mut().zip(exclusive.iter().zip(&buf[agg_base..agg_base + width])) {
+                *out = e.add(*a);
             }
             prefixes.store_row(ctx, strip * cols + c0, &inclusive);
             status.publish(ctx, vid, COL_STATUS_PREFIX);
+            ctx.recycle(inclusive);
         }
 
         // 5. Fold the exclusive prefix into the buffered strip and write.
         ctx.syncthreads();
-        for (k, r) in (r0..r1).enumerate() {
-            if strip > 0 {
-                for j in 0..width {
-                    buf[k * width + j] = buf[k * width + j].add(exclusive[j]);
+        if strip > 0 {
+            for row in buf.chunks_exact_mut(width) {
+                for (v, e) in row.iter_mut().zip(&exclusive) {
+                    *v = v.add(*e);
                 }
             }
-            output.store_row(ctx, r * cols + c0, &buf[k * width..(k + 1) * width]);
         }
+        output.store_2d(ctx, r0 * cols + c0, cols, width, &buf);
+        ctx.recycle(exclusive);
+        ctx.recycle(buf);
     })
 }
 

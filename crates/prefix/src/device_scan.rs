@@ -94,7 +94,7 @@ pub fn device_inclusive_scan<T: DeviceElem>(
         }
 
         // 1. Load and locally scan the tile.
-        let mut vals = vec![T::zero(); hi - lo];
+        let mut vals: Vec<T> = ctx.scratch(hi - lo);
         input.load_row(ctx, lo, &mut vals);
         local_scan(ctx, &mut vals);
         let aggregate = vals[vals.len() - 1];
@@ -119,6 +119,7 @@ pub fn device_inclusive_scan<T: DeviceElem>(
             *v = v.add(exclusive);
         }
         output.store_row(ctx, lo, &vals);
+        ctx.recycle(vals);
     })
 }
 

@@ -24,11 +24,12 @@ pub fn device_reduce<T: DeviceElem>(
         let hi = ((ctx.block_idx() + 1) * tile).min(n);
         let mut acc = T::zero();
         if lo < hi {
-            let mut buf = vec![T::zero(); hi - lo];
+            let mut buf: Vec<T> = ctx.scratch(hi - lo);
             input.load_row(ctx, lo, &mut buf);
-            for v in buf {
+            for &v in &buf {
                 acc = acc.add(v);
             }
+            ctx.recycle(buf);
         }
         partials.write(ctx, ctx.block_idx(), acc);
     }));
@@ -36,12 +37,13 @@ pub fn device_reduce<T: DeviceElem>(
     // Kernel 2: one block folds the partials.
     let result = GlobalBuffer::<T>::zeroed(1);
     run.push(gpu.launch(LaunchConfig::new("reduce_final", 1, params.threads_per_block), |ctx| {
-        let mut buf = vec![T::zero(); tiles];
+        let mut buf: Vec<T> = ctx.scratch(tiles);
         partials.load_row(ctx, 0, &mut buf);
         let mut acc = T::zero();
-        for v in buf {
+        for &v in &buf {
             acc = acc.add(v);
         }
+        ctx.recycle(buf);
         result.write(ctx, 0, acc);
     }));
 
@@ -75,7 +77,7 @@ pub fn device_exclusive_scan<T: DeviceElem>(
         }
         // Read [lo-1, hi-1) and write [lo, hi); element 0 gets the zero.
         let start = lo.saturating_sub(1);
-        let mut buf = vec![T::zero(); hi - 1 - start];
+        let mut buf: Vec<T> = ctx.scratch(hi - 1 - start);
         inclusive.load_row(ctx, start, &mut buf);
         if lo == 0 {
             output.write(ctx, 0, T::zero());
@@ -83,6 +85,7 @@ pub fn device_exclusive_scan<T: DeviceElem>(
         } else {
             output.store_row(ctx, lo, &buf);
         }
+        ctx.recycle(buf);
     }));
     run
 }

@@ -48,7 +48,7 @@ pub fn device_row_scan<T: DeviceElem>(
         let hi = ((t + 1) * tile).min(cols);
         let base = r * cols;
 
-        let mut vals = vec![T::zero(); hi - lo];
+        let mut vals: Vec<T> = ctx.scratch(hi - lo);
         input.load_row(ctx, base + lo, &mut vals);
         let mut carry = T::zero();
         for chunk in vals.chunks_mut(1024) {
@@ -92,6 +92,7 @@ pub fn device_row_scan<T: DeviceElem>(
             *v = v.add(exclusive);
         }
         output.store_row(ctx, base + lo, &vals);
+        ctx.recycle(vals);
     })
 }
 

@@ -1,0 +1,348 @@
+//! `sat-cli bench-json`: the wall-clock perf-regression harness.
+//!
+//! Runs a fixed sweep — every SAT algorithm plus the duplication baseline,
+//! at 1K²/2K²/4K², in both Sequential and Concurrent execution — and emits
+//! one JSON document (`BENCH_*.json`) with wall-clock seconds, Melem/s,
+//! and the deterministic traffic counters of each run. The counters make
+//! the file double as a metrics-parity record: two runs of the harness
+//! across a simulator change must show bit-identical `reads`/`writes`/
+//! `bytes`/`bank_conflict_cycles`, otherwise the change moved Table III.
+//!
+//! `--baseline FILE` folds a previously recorded document in: each result
+//! gains `baseline_secs`/`speedup`, and any counter drift against the
+//! baseline is reported (and reflected in `counters_match`).
+
+use gpu_sim::launch::ExecMode;
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+use std::time::Instant;
+
+/// One sweep point's measurement.
+struct Entry {
+    alg: String,
+    n: usize,
+    mode: &'static str,
+    secs: f64,
+    melem_s: f64,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    bank_conflict_cycles: u64,
+    baseline_secs: Option<f64>,
+    counters_match: Option<bool>,
+}
+
+/// Sweep configuration parsed from the command line.
+pub struct Config {
+    /// Matrix sides (default 1024, 2048, 4096).
+    pub sizes: Vec<usize>,
+    /// Tile width for the tile algorithms.
+    pub w: usize,
+    /// Timed repetitions per point (after one warmup); min is reported.
+    pub reps: usize,
+    /// Execution modes to sweep ("sequential" / "concurrent").
+    pub modes: Vec<String>,
+    /// Substring filters on algorithm labels; empty = all.
+    pub algs: Vec<String>,
+    /// Previously recorded JSON to compare against.
+    pub baseline: Option<String>,
+    /// Output path; `None` prints to stdout.
+    pub out: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sizes: vec![1024, 2048, 4096],
+            w: 32,
+            reps: 3,
+            modes: vec!["sequential".into(), "concurrent".into()],
+            algs: Vec::new(),
+            baseline: None,
+            out: None,
+        }
+    }
+}
+
+fn mode_of(name: &str) -> ExecMode {
+    match name {
+        "sequential" => ExecMode::Sequential,
+        "concurrent" => ExecMode::Concurrent,
+        other => panic!("unknown mode: {other} (expected sequential|concurrent)"),
+    }
+}
+
+/// The sweep roster: the seven Table III algorithms plus the duplication
+/// baseline, all at tile width `w`.
+fn sweep_roster(w: usize) -> Vec<(String, Box<dyn SatAlgorithm<u32>>)> {
+    let params = SatParams::paper(w);
+    vec![
+        ("duplication".into(), Box::new(DuplicateAsSat) as Box<dyn SatAlgorithm<u32>>),
+        ("2r2w".into(), Box::new(TwoRTwoW::new(params.threads_per_block))),
+        ("2r2w_opt".into(), Box::new(TwoRTwoWOpt::new(params))),
+        ("2r1w".into(), Box::new(TwoROneW::new(params))),
+        ("1r1w".into(), Box::new(OneROneW::new(params))),
+        ("hybrid".into(), Box::new(HybridR1W::new(params, 0.25))),
+        ("skss".into(), Box::new(Skss::new(params))),
+        ("skss_lb".into(), Box::new(SkssLb::new(params))),
+    ]
+}
+
+/// The duplication baseline behind the `SatAlgorithm` interface so the
+/// sweep loop is uniform. It copies instead of computing a SAT, so it is
+/// excluded from output verification.
+struct DuplicateAsSat;
+
+impl SatAlgorithm<u32> for DuplicateAsSat {
+    fn name(&self) -> String {
+        "duplication".into()
+    }
+
+    fn run(
+        &self,
+        gpu: &Gpu,
+        input: &gpu_sim::global::GlobalBuffer<u32>,
+        output: &gpu_sim::global::GlobalBuffer<u32>,
+        _n: usize,
+    ) -> RunMetrics {
+        Duplicate::new().copy(gpu, input, output)
+    }
+}
+
+/// Pull `"key":value` out of a baseline JSON line. The harness reads only
+/// documents it wrote itself (one result object per line), so a string
+/// scan is sufficient and keeps the tool dependency-free.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Baseline lookup: `(secs, reads, writes, bytes_read, bytes_written,
+/// bank_conflict_cycles)` for one sweep point.
+#[allow(clippy::type_complexity)]
+fn baseline_entry(doc: &str, alg: &str, n: usize, mode: &str) -> Option<(f64, [u64; 5])> {
+    for line in doc.lines() {
+        if json_field(line, "alg") == Some(alg)
+            && json_field(line, "n") == Some(&n.to_string())
+            && json_field(line, "mode") == Some(mode)
+        {
+            let secs: f64 = json_field(line, "secs")?.parse().ok()?;
+            let counters = [
+                json_field(line, "reads")?.parse().ok()?,
+                json_field(line, "writes")?.parse().ok()?,
+                json_field(line, "bytes_read")?.parse().ok()?,
+                json_field(line, "bytes_written")?.parse().ok()?,
+                json_field(line, "bank_conflict_cycles")?.parse().ok()?,
+            ];
+            return Some((secs, counters));
+        }
+    }
+    None
+}
+
+fn render_entry(e: &Entry) -> String {
+    let mut s = format!(
+        "{{\"alg\":\"{}\",\"n\":{},\"mode\":\"{}\",\"secs\":{:.6},\"melem_s\":{:.3},\
+         \"reads\":{},\"writes\":{},\"bytes_read\":{},\"bytes_written\":{},\
+         \"bank_conflict_cycles\":{}",
+        e.alg,
+        e.n,
+        e.mode,
+        e.secs,
+        e.melem_s,
+        e.reads,
+        e.writes,
+        e.bytes_read,
+        e.bytes_written,
+        e.bank_conflict_cycles,
+    );
+    if let Some(b) = e.baseline_secs {
+        s.push_str(&format!(",\"baseline_secs\":{:.6},\"speedup\":{:.2}", b, b / e.secs));
+    }
+    if let Some(m) = e.counters_match {
+        s.push_str(&format!(",\"counters_match\":{m}"));
+    }
+    s.push('}');
+    s
+}
+
+/// Run the sweep and return the JSON document.
+pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
+    let baseline_doc = cfg.baseline.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut all_counters_match = true;
+
+    for (label, alg) in sweep_roster(cfg.w) {
+        if !cfg.algs.is_empty() && !cfg.algs.iter().any(|f| label.contains(f.as_str())) {
+            continue;
+        }
+        for &n in &cfg.sizes {
+            if cfg.w > n {
+                continue;
+            }
+            let a = Matrix::<u32>::random(n, n, 0xBE7C4, 4);
+            let expect = (label != "duplication").then(|| satcore::reference::sat(&a));
+            let input = a.to_device();
+            let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
+            for mode_name in &cfg.modes {
+                let gpu = Gpu::new(device.clone()).with_mode(mode_of(mode_name));
+                // Warmup run doubles as the counter measurement and the
+                // correctness check.
+                let run = alg.run(&gpu, &input, &output, n);
+                if let Some(expect) = &expect {
+                    assert_eq!(
+                        &Matrix::from_device(&output, n, n),
+                        expect,
+                        "{label} produced a wrong SAT at n={n} ({mode_name})"
+                    );
+                }
+                let stats = run.total_stats().deterministic();
+                let mut secs = f64::INFINITY;
+                for _ in 0..cfg.reps.max(1) {
+                    let t0 = Instant::now();
+                    alg.run(&gpu, &input, &output, n);
+                    secs = secs.min(t0.elapsed().as_secs_f64());
+                }
+                let mut e = Entry {
+                    alg: label.clone(),
+                    n,
+                    mode: if *mode_name == "sequential" { "sequential" } else { "concurrent" },
+                    secs,
+                    melem_s: (n * n) as f64 / 1e6 / secs,
+                    reads: stats.global_reads,
+                    writes: stats.global_writes,
+                    bytes_read: stats.bytes_read,
+                    bytes_written: stats.bytes_written,
+                    bank_conflict_cycles: stats.bank_conflict_cycles,
+                    baseline_secs: None,
+                    counters_match: None,
+                };
+                if let Some(doc) = &baseline_doc {
+                    if let Some((bsecs, bc)) = baseline_entry(doc, &label, n, e.mode) {
+                        let mc = [
+                            e.reads,
+                            e.writes,
+                            e.bytes_read,
+                            e.bytes_written,
+                            e.bank_conflict_cycles,
+                        ];
+                        // Concurrent look-back walk lengths depend on the
+                        // thread schedule, so the read side varies from run
+                        // to run (even between two runs of the same build);
+                        // only the write side and conflict cycles are
+                        // schedule-independent there. Sequential execution
+                        // is deterministic and must match exactly.
+                        let matches = if e.mode == "sequential" {
+                            bc == mc
+                        } else {
+                            bc[1] == mc[1] && bc[3] == mc[3] && bc[4] == mc[4]
+                        };
+                        if !matches {
+                            all_counters_match = false;
+                            eprintln!(
+                                "counter drift: {label} n={n} {mode_name}: \
+                                 baseline {bc:?} vs measured [{}, {}, {}, {}, {}]",
+                                e.reads, e.writes, e.bytes_read, e.bytes_written,
+                                e.bank_conflict_cycles
+                            );
+                        }
+                        e.baseline_secs = Some(bsecs);
+                        e.counters_match = Some(matches);
+                    }
+                }
+                eprintln!(
+                    "bench {label:<12} n={n:<5} {mode_name:<10} {:>10.3} ms  {:>8.2} Melem/s{}",
+                    e.secs * 1e3,
+                    e.melem_s,
+                    e.baseline_secs
+                        .map(|b| format!("  ({:.2}x vs baseline)", b / e.secs))
+                        .unwrap_or_default(),
+                );
+                entries.push(e);
+            }
+        }
+    }
+
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("\"schema\":\"sat-bench/1\",\n");
+    doc.push_str(&format!("\"device\":\"{}\",\n", device.name));
+    doc.push_str(&format!("\"host_workers\":{},\n", device.host_workers));
+    doc.push_str(&format!("\"tile_width\":{},\n", cfg.w));
+    doc.push_str(&format!("\"reps\":{},\n", cfg.reps));
+    if baseline_doc.is_some() {
+        doc.push_str(&format!("\"all_counters_match\":{all_counters_match},\n"));
+    }
+    doc.push_str("\"results\":[\n");
+    for (k, e) in entries.iter().enumerate() {
+        doc.push_str(&render_entry(e));
+        if k + 1 < entries.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("]}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_emits_parseable_entries() {
+        let cfg = Config {
+            sizes: vec![64],
+            w: 32,
+            reps: 1,
+            modes: vec!["sequential".into()],
+            algs: vec!["skss_lb".into(), "duplication".into()],
+            baseline: None,
+            out: None,
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        assert!(doc.contains("\"schema\":\"sat-bench/1\""));
+        let (secs, counters) = baseline_entry(&doc, "skss_lb", 64, "sequential").unwrap();
+        assert!(secs > 0.0);
+        // 1R1W: n^2 data reads each way, plus look-back auxiliaries.
+        assert!(counters[0] >= 64 * 64);
+        assert!(counters[1] >= 64 * 64);
+    }
+
+    #[test]
+    fn baseline_comparison_reports_match() {
+        let cfg = Config {
+            sizes: vec![64],
+            w: 32,
+            reps: 1,
+            modes: vec!["sequential".into()],
+            algs: vec!["duplication".into()],
+            baseline: None,
+            out: None,
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        let path = std::env::temp_dir().join("sat_bench_json_test_baseline.json");
+        std::fs::write(&path, &doc).unwrap();
+        let cfg2 = Config { baseline: Some(path.to_string_lossy().into_owned()), ..cfg };
+        let doc2 = run(&cfg2, &DeviceConfig::tiny());
+        assert!(doc2.contains("\"all_counters_match\":true"));
+        assert!(doc2.contains("\"counters_match\":true"));
+        assert!(doc2.contains("\"speedup\":"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_field_extracts_values() {
+        let line = "{\"alg\":\"skss_lb\",\"n\":2048,\"mode\":\"concurrent\",\"secs\":0.5}";
+        assert_eq!(json_field(line, "alg"), Some("skss_lb"));
+        assert_eq!(json_field(line, "n"), Some("2048"));
+        assert_eq!(json_field(line, "secs"), Some("0.5"));
+        assert_eq!(json_field(line, "missing"), None);
+    }
+}

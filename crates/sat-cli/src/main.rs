@@ -9,6 +9,7 @@
 //! ```
 
 mod ablations;
+mod bench_json;
 mod figures;
 mod paper;
 mod report;
@@ -42,7 +43,7 @@ fn parse_list(args: &[String], name: &str, default: &[usize]) -> Vec<usize> {
 fn table3_config(args: &[String]) -> table3::Config {
     let synthetic = parse_flag(args, "--synthetic");
     let default_sizes: Vec<usize> =
-        if synthetic { paper::SIZES.to_vec() } else { vec![256, 512, 1024, 2048] };
+        if synthetic { paper::SIZES.to_vec() } else { vec![256, 512, 1024, 2048, 4096, 8192] };
     table3::Config {
         sizes: parse_list(args, "--sizes", &default_sizes),
         widths: parse_list(args, "--widths", &paper::TILE_WIDTHS),
@@ -70,6 +71,10 @@ fn usage() -> &'static str {
                   options: --sizes a,b,c (default 64,256,512,1024)\n\
        trace      concurrent SKSS-LB run with a block timeline\n\
                   options: --n N (default 256), --w W (default 32), --seed S\n\
+       bench-json wall-clock perf sweep emitted as JSON (BENCH_*.json)\n\
+                  options: --sizes a,b,c (default 1024,2048,4096), --w W,\n\
+                           --reps R (default 3), --modes sequential,concurrent,\n\
+                           --algs substr,substr, --baseline FILE, --out FILE\n\
        all        every report above, in order"
 }
 
@@ -115,6 +120,34 @@ fn main() -> ExitCode {
             }
             println!("f32 SAT error vs f64 oracle (uniform random values 0..256):\n");
             print!("{}", t.render());
+        }
+        "bench-json" => {
+            let defaults = bench_json::Config::default();
+            let bcfg = bench_json::Config {
+                sizes: parse_list(&args, "--sizes", &defaults.sizes),
+                w: parse_usize(&args, "--w", defaults.w),
+                reps: parse_usize(&args, "--reps", defaults.reps),
+                modes: parse_opt(&args, "--modes").map_or(defaults.modes, |v| {
+                    v.split(',').map(|s| s.trim().to_string()).collect()
+                }),
+                algs: parse_opt(&args, "--algs").map_or(Vec::new(), |v| {
+                    v.split(',').map(|s| s.trim().to_string()).collect()
+                }),
+                baseline: parse_opt(&args, "--baseline"),
+                out: parse_opt(&args, "--out"),
+            };
+            let doc = bench_json::run(&bcfg, gpu.config());
+            match &bcfg.out {
+                Some(path) => {
+                    std::fs::write(path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{doc}"),
+            }
+            if doc.contains("\"all_counters_match\":false") {
+                eprintln!("counter drift vs baseline: the run charged different metrics");
+                return ExitCode::FAILURE;
+            }
         }
         "ablations" => {
             let n = parse_usize(&args, "--n", 512);

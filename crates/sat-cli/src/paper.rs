@@ -142,12 +142,11 @@ mod tests {
         // "Our parallel SAT algorithm runs faster than all previous
         // algorithms for matrices of sizes from 256x256 to 32Kx32K."
         let lb = &ALGORITHMS[6];
-        for si in 0..SIZES.len() {
+        for (si, &size) in SIZES.iter().enumerate() {
             for other in &ALGORITHMS[..6] {
                 assert!(
                     lb.best_ms(si) < other.best_ms(si),
-                    "size {} vs {}",
-                    SIZES[si],
+                    "size {size} vs {}",
                     other.name
                 );
             }

@@ -94,7 +94,7 @@ pub fn fmt_pct(p: f64) -> String {
 
 /// Human-readable matrix size label: `256^2`, `1K^2`, `32K^2`.
 pub fn size_label(n: usize) -> String {
-    if n >= 1024 && n % 1024 == 0 {
+    if n >= 1024 && n.is_multiple_of(1024) {
         format!("{}K^2", n / 1024)
     } else {
         format!("{n}^2")

@@ -50,7 +50,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            sizes: vec![256, 512, 1024, 2048],
+            sizes: vec![256, 512, 1024, 2048, 4096, 8192],
             widths: vec![32, 64, 128],
             mode: Mode::Measured,
             paper_compare: false,
@@ -209,11 +209,8 @@ pub fn render(cfg: &Config, gpu: &Gpu) -> String {
 /// two headline shape claims.
 fn render_paper_comparison(cfg: &Config, data: &[Cell]) -> String {
     let mut t = Table::new(&["algorithm", "n", "model ms", "paper ms", "model/paper", "overhead model", "overhead paper"]);
-    let paper_rows: Vec<(&str, &paper::PaperRow)> = roster()
-        .iter()
-        .map(|(l, _, _)| *l)
-        .zip(paper::ALGORITHMS.iter())
-        .collect();
+    let paper_rows: Vec<(&str, &paper::PaperRow)> =
+        paper::ALGORITHMS.iter().map(|r| (r.name, r)).collect();
     for &n in &cfg.sizes {
         let Some(si) = paper::size_index(n) else { continue };
         let dup_model = best_ms(data, "duplication", n).unwrap();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and lint the whole workspace.
+#
+# Note the explicit --workspace everywhere: the repo root is both a
+# workspace and a package (the `sat-repro` facade), so a bare
+# `cargo build` / `cargo test` / `cargo clippy` silently covers only the
+# facade and its path dependencies — crates like sat-cli are skipped and
+# their binaries go stale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo clippy --all-targets --workspace -- -D warnings
