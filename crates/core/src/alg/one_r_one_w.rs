@@ -17,7 +17,10 @@ use gpu_sim::metrics::RunMetrics;
 use gpu_sim::shared::Arrangement;
 
 use super::{SatAlgorithm, SatParams};
-use crate::tile::{load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux};
+use crate::tile::{
+    load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux,
+    MAX_STACK_W,
+};
 
 /// Diagonal-wave tile SAT: one kernel per anti-diagonal.
 #[derive(Debug, Clone, Copy)]
@@ -48,19 +51,21 @@ pub(crate) fn process_wave_tile<T: DeviceElem>(
     gs: &ScalarAux<T>,
 ) {
     let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-    let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+    let mut lrs_v: Vec<T> = ctx.scratch_overwrite(grid.w);
     tile.row_sums_into(ctx, &mut lrs_v);
     ctx.syncthreads();
 
-    let left = if tj > 0 { Some(grs.read_vec(ctx, ti, tj - 1)) } else { None };
-    let top = if ti > 0 { Some(gcs.read_vec(ctx, ti - 1, tj)) } else { None };
+    let mut lbuf = [T::zero(); MAX_STACK_W];
+    let mut tbuf = [T::zero(); MAX_STACK_W];
+    let left = if tj > 0 { Some(grs.read_vec_stack(ctx, ti, tj - 1, &mut lbuf)) } else { None };
+    let top = if ti > 0 { Some(gcs.read_vec_stack(ctx, ti - 1, tj, &mut tbuf)) } else { None };
     let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
 
     // Publish this tile's global sums for the next wave: GRS(I,J) =
     // GRS(I,J-1) + LRS(I,J), GCS(I,J) = GCS(I-1,J) + LCS(I,J).
     let mut grs_cur = lrs_v;
     if let Some(l) = &left {
-        for (a, b) in grs_cur.iter_mut().zip(l) {
+        for (a, b) in grs_cur.iter_mut().zip(*l) {
             *a = a.add(*b);
         }
     }
@@ -68,25 +73,19 @@ pub(crate) fn process_wave_tile<T: DeviceElem>(
     ctx.recycle(grs_cur);
     let mut gcs_cur = lcs_v;
     if let Some(t) = &top {
-        for (a, b) in gcs_cur.iter_mut().zip(t) {
+        for (a, b) in gcs_cur.iter_mut().zip(*t) {
             *a = a.add(*b);
         }
     }
     gcs.write_vec(ctx, ti, tj, &gcs_cur);
     ctx.recycle(gcs_cur);
 
-    tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
+    tile_gsat_in_place(ctx, &mut tile, left, top, corner);
     // GS(I,J) is the bottom-right corner of GSAT(I,J) (paper §III-B).
     let gs_cur = tile.get(ctx, grid.w - 1, grid.w - 1);
     gs.write(ctx, ti, tj, gs_cur);
     store_tile(ctx, output, grid, ti, tj, &tile);
     tile.release(ctx);
-    if let Some(v) = left {
-        ctx.recycle(v);
-    }
-    if let Some(v) = top {
-        ctx.recycle(v);
-    }
 }
 
 impl<T: DeviceElem> SatAlgorithm<T> for OneROneW {

@@ -16,12 +16,141 @@
 
 use gpu_sim::elem::DeviceElem;
 use gpu_sim::global::GlobalBuffer;
-use gpu_sim::launch::{Gpu, LaunchConfig};
+use gpu_sim::launch::{BlockCtx, Gpu, LaunchConfig};
 use gpu_sim::metrics::RunMetrics;
 use gpu_sim::shared::Arrangement;
 
 use super::{SatAlgorithm, SatParams};
-use crate::tile::{load_tile, load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux};
+use crate::tile::{
+    load_tile, load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid,
+    VecAux, MAX_STACK_W,
+};
+
+/// The auxiliary device arrays of one 2R1W run (local and global row /
+/// column / tile sums), bundled so the kernel bodies can be shared between
+/// the one-shot [`TwoROneW::run`] path and the stream-pipelined batch mode
+/// in [`crate::batch`].
+pub struct TwoROneWAux<T: DeviceElem> {
+    /// Tile decomposition the arrays are sized for.
+    pub grid: TileGrid,
+    lrs: VecAux<T>,
+    lcs: VecAux<T>,
+    grs: VecAux<T>,
+    gcs: VecAux<T>,
+    ls: ScalarAux<T>,
+    gs: ScalarAux<T>,
+}
+
+impl<T: DeviceElem> TwoROneWAux<T> {
+    /// Allocate all six auxiliary arrays for `grid`.
+    pub fn new(grid: TileGrid) -> Self {
+        TwoROneWAux {
+            grid,
+            lrs: VecAux::new(grid),
+            lcs: VecAux::new(grid),
+            grs: VecAux::new(grid),
+            gcs: VecAux::new(grid),
+            ls: ScalarAux::new(grid),
+            gs: ScalarAux::new(grid),
+        }
+    }
+}
+
+/// Kernel 1 body: local sums (`LRS`, `LCS`, `LS`) of tile `block_idx`.
+pub fn k1_local_sums<T: DeviceElem>(ctx: &mut BlockCtx, input: &GlobalBuffer<T>, aux: &TwoROneWAux<T>) {
+    let grid = aux.grid;
+    let (ti, tj) = (ctx.block_idx() / grid.t, ctx.block_idx() % grid.t);
+    let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+    let mut lrs_v: Vec<T> = ctx.scratch_overwrite(grid.w);
+    tile.row_sums_into(ctx, &mut lrs_v);
+    tile.release(ctx);
+    ctx.syncthreads();
+    let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
+    aux.lrs.write_vec(ctx, ti, tj, &lrs_v);
+    aux.lcs.write_vec(ctx, ti, tj, &lcs_v);
+    aux.ls.write(ctx, ti, tj, total);
+    ctx.recycle(lrs_v);
+    ctx.recycle(lcs_v);
+}
+
+/// Kernel 2 body: global sums. Blocks `0..t` scan tile-rows (`GRS`),
+/// blocks `t..2t` scan tile-columns (`GCS`), block `2t` computes the SAT
+/// of the `LS` grid (`GS`).
+pub fn k2_global_sums<T: DeviceElem>(ctx: &mut BlockCtx, aux: &TwoROneWAux<T>) {
+    let grid = aux.grid;
+    let t = grid.t;
+    let b = ctx.block_idx();
+    if b < t {
+        let ti = b;
+        let mut acc: Vec<T> = ctx.scratch(grid.w);
+        let mut v: Vec<T> = ctx.scratch(grid.w);
+        for tj in 0..t {
+            aux.lrs.read_vec_into(ctx, ti, tj, &mut v);
+            for (a, &x) in acc.iter_mut().zip(&v) {
+                *a = a.add(x);
+            }
+            aux.grs.write_vec(ctx, ti, tj, &acc);
+        }
+        ctx.recycle(acc);
+        ctx.recycle(v);
+    } else if b < 2 * t {
+        let tj = b - t;
+        let mut acc: Vec<T> = ctx.scratch(grid.w);
+        let mut v: Vec<T> = ctx.scratch(grid.w);
+        for ti in 0..t {
+            aux.lcs.read_vec_into(ctx, ti, tj, &mut v);
+            for (a, &x) in acc.iter_mut().zip(&v) {
+                *a = a.add(x);
+            }
+            aux.gcs.write_vec(ctx, ti, tj, &acc);
+        }
+        ctx.recycle(acc);
+        ctx.recycle(v);
+    } else {
+        // SAT of the t x t LS grid, computed by one block ("we can
+        // simply use 2R2W algorithm for computing the GS").
+        let mut acc = vec![T::zero(); t * t];
+        for ti in 0..t {
+            for tj in 0..t {
+                let v = aux.ls.read(ctx, ti, tj);
+                let up = if ti > 0 { acc[(ti - 1) * t + tj] } else { T::zero() };
+                let left = if tj > 0 { acc[ti * t + tj - 1] } else { T::zero() };
+                let diag = if ti > 0 && tj > 0 { acc[(ti - 1) * t + tj - 1] } else { T::zero() };
+                acc[ti * t + tj] = v.add(up).add(left).sub(diag);
+                aux.gs.write(ctx, ti, tj, acc[ti * t + tj]);
+            }
+        }
+    }
+}
+
+/// Kernel 3 body: GSAT of tile `block_idx` from the carried borders.
+pub fn k3_gsat<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    aux: &TwoROneWAux<T>,
+) {
+    let grid = aux.grid;
+    let (ti, tj) = (ctx.block_idx() / grid.t, ctx.block_idx() % grid.t);
+    let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
+    let mut lbuf = [T::zero(); MAX_STACK_W];
+    let mut tbuf = [T::zero(); MAX_STACK_W];
+    let left = if tj > 0 { Some(aux.grs.read_vec_stack(ctx, ti, tj - 1, &mut lbuf)) } else { None };
+    let top = if ti > 0 { Some(aux.gcs.read_vec_stack(ctx, ti - 1, tj, &mut tbuf)) } else { None };
+    let corner = if ti > 0 && tj > 0 { aux.gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
+    tile_gsat_in_place(ctx, &mut tile, left, top, corner);
+    store_tile(ctx, output, grid, ti, tj, &tile);
+    tile.release(ctx);
+}
+
+/// The three launch configurations of one 2R1W run over `grid`, in order.
+pub fn launch_plan(grid: TileGrid, threads_per_block: usize) -> [LaunchConfig; 3] {
+    [
+        LaunchConfig::new("2r1w_k1", grid.tiles(), threads_per_block),
+        LaunchConfig::new("2r1w_k2", 2 * grid.t + 1, grid.w.min(threads_per_block)),
+        LaunchConfig::new("2r1w_k3", grid.tiles(), threads_per_block),
+    ]
+}
 
 /// Three-kernel tile-based SAT.
 #[derive(Debug, Clone, Copy)]
@@ -44,99 +173,13 @@ impl<T: DeviceElem> SatAlgorithm<T> for TwoROneW {
 
     fn run(&self, gpu: &Gpu, input: &GlobalBuffer<T>, output: &GlobalBuffer<T>, n: usize) -> RunMetrics {
         let grid = TileGrid::new(n, self.params.w);
-        let t = grid.t;
         let tpb = self.params.threads_per_block.min(gpu.config().max_threads_per_block);
-        let lrs = VecAux::<T>::new(grid);
-        let lcs = VecAux::<T>::new(grid);
-        let grs = VecAux::<T>::new(grid);
-        let gcs = VecAux::<T>::new(grid);
-        let ls = ScalarAux::<T>::new(grid);
-        let gs = ScalarAux::<T>::new(grid);
+        let aux = TwoROneWAux::<T>::new(grid);
+        let [lc1, lc2, lc3] = launch_plan(grid, tpb);
         let mut run = RunMetrics::default();
-
-        // Kernel 1: local sums of every tile.
-        run.push(gpu.launch(LaunchConfig::new("2r1w_k1", grid.tiles(), tpb), |ctx| {
-            let (ti, tj) = (ctx.block_idx() / t, ctx.block_idx() % t);
-            let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-            let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
-            tile.row_sums_into(ctx, &mut lrs_v);
-            tile.release(ctx);
-            ctx.syncthreads();
-            let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
-            lrs.write_vec(ctx, ti, tj, &lrs_v);
-            lcs.write_vec(ctx, ti, tj, &lcs_v);
-            ls.write(ctx, ti, tj, total);
-            ctx.recycle(lrs_v);
-            ctx.recycle(lcs_v);
-        }));
-
-        // Kernel 2: global sums. Blocks 0..t scan tile-rows (GRS), blocks
-        // t..2t scan tile-columns (GCS), block 2t computes the SAT of the
-        // LS grid (GS). ~2n threads, O(n^2/W) traffic — matching the
-        // paper's "n threads per array" structure.
-        run.push(gpu.launch(LaunchConfig::new("2r1w_k2", 2 * t + 1, grid.w.min(tpb)), |ctx| {
-            let b = ctx.block_idx();
-            if b < t {
-                let ti = b;
-                let mut acc: Vec<T> = ctx.scratch(grid.w);
-                let mut v: Vec<T> = ctx.scratch(grid.w);
-                for tj in 0..t {
-                    lrs.read_vec_into(ctx, ti, tj, &mut v);
-                    for (a, &x) in acc.iter_mut().zip(&v) {
-                        *a = a.add(x);
-                    }
-                    grs.write_vec(ctx, ti, tj, &acc);
-                }
-                ctx.recycle(acc);
-                ctx.recycle(v);
-            } else if b < 2 * t {
-                let tj = b - t;
-                let mut acc: Vec<T> = ctx.scratch(grid.w);
-                let mut v: Vec<T> = ctx.scratch(grid.w);
-                for ti in 0..t {
-                    lcs.read_vec_into(ctx, ti, tj, &mut v);
-                    for (a, &x) in acc.iter_mut().zip(&v) {
-                        *a = a.add(x);
-                    }
-                    gcs.write_vec(ctx, ti, tj, &acc);
-                }
-                ctx.recycle(acc);
-                ctx.recycle(v);
-            } else {
-                // SAT of the t x t LS grid, computed by one block ("we can
-                // simply use 2R2W algorithm for computing the GS").
-                let mut acc = vec![T::zero(); t * t];
-                for ti in 0..t {
-                    for tj in 0..t {
-                        let v = ls.read(ctx, ti, tj);
-                        let up = if ti > 0 { acc[(ti - 1) * t + tj] } else { T::zero() };
-                        let left = if tj > 0 { acc[ti * t + tj - 1] } else { T::zero() };
-                        let diag = if ti > 0 && tj > 0 { acc[(ti - 1) * t + tj - 1] } else { T::zero() };
-                        acc[ti * t + tj] = v.add(up).add(left).sub(diag);
-                        gs.write(ctx, ti, tj, acc[ti * t + tj]);
-                    }
-                }
-            }
-        }));
-
-        // Kernel 3: GSAT of every tile from the carried borders.
-        run.push(gpu.launch(LaunchConfig::new("2r1w_k3", grid.tiles(), tpb), |ctx| {
-            let (ti, tj) = (ctx.block_idx() / t, ctx.block_idx() % t);
-            let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-            let left = if tj > 0 { Some(grs.read_vec(ctx, ti, tj - 1)) } else { None };
-            let top = if ti > 0 { Some(gcs.read_vec(ctx, ti - 1, tj)) } else { None };
-            let corner = if ti > 0 && tj > 0 { gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
-            tile_gsat_in_place(ctx, &mut tile, left.as_deref(), top.as_deref(), corner);
-            store_tile(ctx, output, grid, ti, tj, &tile);
-            tile.release(ctx);
-            if let Some(v) = left {
-                ctx.recycle(v);
-            }
-            if let Some(v) = top {
-                ctx.recycle(v);
-            }
-        }));
-
+        run.push(gpu.launch(lc1, |ctx| k1_local_sums(ctx, input, &aux)));
+        run.push(gpu.launch(lc2, |ctx| k2_global_sums(ctx, &aux)));
+        run.push(gpu.launch(lc3, |ctx| k3_gsat(ctx, input, output, &aux)));
         run
     }
 }

@@ -1,0 +1,210 @@
+//! Batched SAT throughput pipeline.
+//!
+//! A server-style workload computes SATs over a queue of many (small)
+//! images, where images/s matters more than single-image latency. Two
+//! execution strategies over the same 2R1W kernels
+//! ([`crate::alg::two_r_one_w`]):
+//!
+//! * [`sat_batch_serial`] — one image at a time, each kernel a blocking
+//!   [`Gpu::launch`]. The host pays a full submit/wake round-trip per
+//!   kernel (three per image), and the device idles in every gap.
+//! * [`sat_batch_streamed`] — images round-robined over a small set of
+//!   [`Stream`]s. Each image's three kernels are enqueued asynchronously
+//!   on its stream (in-stream order preserves the k1 → k2 → k3 data
+//!   dependency), then all streams are synchronized once. The worker pool
+//!   always has the next kernel queued, so image *i+1*'s local-sums kernel
+//!   starts the moment image *i*'s column-scan retires — the pipelining a
+//!   CUDA server gets from `cudaLaunchKernel` on rotating streams.
+//!
+//! Both strategies charge identical deterministic counters: the counters
+//! are per-block quantities accumulated by the kernels themselves, and
+//! neither streaming nor overlap changes what any block does (2R1W has no
+//! inter-block flag waits, so even poll counts match). [`BatchReport`]
+//! exposes the aggregate so callers — the `--throughput` bench mode, the
+//! scheduling-parity tests — can assert it.
+
+use std::sync::Arc;
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::launch::Gpu;
+use gpu_sim::metrics::BlockStats;
+
+use crate::alg::two_r_one_w::{k1_local_sums, k2_global_sums, k3_gsat, launch_plan, TwoROneWAux};
+use crate::alg::SatParams;
+use crate::tile::TileGrid;
+
+/// One image of a batch: device input and output buffers for an `n x n`
+/// matrix, shareable with enqueued kernels (device memory must outlive
+/// asynchronous launches, hence the `Arc`s).
+pub struct BatchImage<T: DeviceElem> {
+    /// Input matrix, row-major `n * n` elements.
+    pub input: Arc<GlobalBuffer<T>>,
+    /// Output SAT, same shape.
+    pub output: Arc<GlobalBuffer<T>>,
+    /// Matrix side length.
+    pub n: usize,
+}
+
+impl<T: DeviceElem> BatchImage<T> {
+    /// Allocate device buffers for `src`, an `n x n` row-major matrix.
+    pub fn from_host(src: &[T], n: usize) -> Self {
+        assert_eq!(src.len(), n * n, "input is not n x n");
+        BatchImage {
+            input: Arc::new(GlobalBuffer::from_slice(src)),
+            output: Arc::new(GlobalBuffer::zeroed(n * n)),
+            n,
+        }
+    }
+}
+
+/// Aggregate result of one batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Number of images processed.
+    pub images: usize,
+    /// Total kernel launches (three per image for 2R1W).
+    pub kernels: usize,
+    /// Field-wise sum of every launch's counters.
+    pub stats: BlockStats,
+}
+
+impl BatchReport {
+    /// The schedule-independent part of the aggregate counters; identical
+    /// between [`sat_batch_serial`] and [`sat_batch_streamed`] by the
+    /// accounting contract.
+    pub fn deterministic(&self) -> BlockStats {
+        self.stats.deterministic()
+    }
+}
+
+fn tpb(gpu: &Gpu, params: SatParams) -> usize {
+    params.threads_per_block.min(gpu.config().max_threads_per_block)
+}
+
+/// Run 2R1W over every image, one blocking launch at a time.
+pub fn sat_batch_serial<T: DeviceElem>(gpu: &Gpu, params: SatParams, images: &[BatchImage<T>]) -> BatchReport {
+    let mut stats = BlockStats::default();
+    let mut kernels = 0;
+    for img in images {
+        let grid = TileGrid::new(img.n, params.w);
+        let aux = TwoROneWAux::<T>::new(grid);
+        let [lc1, lc2, lc3] = launch_plan(grid, tpb(gpu, params));
+        stats.merge(&gpu.launch(lc1, |ctx| k1_local_sums(ctx, &*img.input, &aux)).stats);
+        stats.merge(&gpu.launch(lc2, |ctx| k2_global_sums(ctx, &aux)).stats);
+        stats.merge(&gpu.launch(lc3, |ctx| k3_gsat(ctx, &*img.input, &*img.output, &aux)).stats);
+        kernels += 3;
+    }
+    BatchReport { images: images.len(), kernels, stats }
+}
+
+/// Run 2R1W over every image, pipelined: image `i` is enqueued on stream
+/// `i % streams`, each image's three kernels in stream order, then every
+/// stream is synchronized. `streams` is clamped to at least 1.
+pub fn sat_batch_streamed<T: DeviceElem>(
+    gpu: &Gpu,
+    params: SatParams,
+    images: &[BatchImage<T>],
+    streams: usize,
+) -> BatchReport {
+    let lanes: Vec<_> = (0..streams.max(1)).map(|_| gpu.stream()).collect();
+    for (i, img) in images.iter().enumerate() {
+        let stream = &lanes[i % lanes.len()];
+        let grid = TileGrid::new(img.n, params.w);
+        let aux = Arc::new(TwoROneWAux::<T>::new(grid));
+        let [lc1, lc2, lc3] = launch_plan(grid, tpb(gpu, params));
+        {
+            let (input, aux) = (Arc::clone(&img.input), Arc::clone(&aux));
+            stream.enqueue(lc1, move |ctx| k1_local_sums(ctx, &*input, &aux));
+        }
+        {
+            let aux = Arc::clone(&aux);
+            stream.enqueue(lc2, move |ctx| k2_global_sums(ctx, &aux));
+        }
+        {
+            let (input, output) = (Arc::clone(&img.input), Arc::clone(&img.output));
+            stream.enqueue(lc3, move |ctx| k3_gsat(ctx, &*input, &*output, &aux));
+        }
+    }
+    let mut stats = BlockStats::default();
+    let mut kernels = 0;
+    for stream in &lanes {
+        for m in stream.sync() {
+            stats.merge(&m.stats);
+            kernels += 1;
+        }
+    }
+    BatchReport { images: images.len(), kernels, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use gpu_sim::prelude::*;
+
+    fn batch(count: usize, n: usize, seed: u64) -> (Vec<Matrix<u64>>, Vec<BatchImage<u64>>) {
+        let mats: Vec<_> = (0..count).map(|i| Matrix::<u64>::random(n, n, seed + i as u64, 100)).collect();
+        let imgs = mats.iter().map(|m| BatchImage::from_host(m.as_slice(), n)).collect();
+        (mats, imgs)
+    }
+
+    fn check_outputs(mats: &[Matrix<u64>], imgs: &[BatchImage<u64>], n: usize) {
+        for (m, img) in mats.iter().zip(imgs) {
+            let got = Matrix::from_vec(n, n, img.output.to_vec());
+            assert_eq!(got, reference::sat(m));
+        }
+    }
+
+    #[test]
+    fn serial_batch_matches_reference() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let params = SatParams { w: 8, threads_per_block: 64 };
+        let (mats, imgs) = batch(4, 16, 21);
+        let report = sat_batch_serial(&gpu, params, &imgs);
+        assert_eq!(report.images, 4);
+        assert_eq!(report.kernels, 12);
+        check_outputs(&mats, &imgs, 16);
+    }
+
+    #[test]
+    fn streamed_batch_matches_reference_and_serial_counters() {
+        for mode in [ExecMode::Sequential, ExecMode::Concurrent] {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(mode);
+            let params = SatParams { w: 8, threads_per_block: 64 };
+            let (mats, imgs) = batch(5, 16, 33);
+            let serial = sat_batch_serial(&gpu, params, &imgs);
+            for img in &imgs {
+                img.output.host_fill(0);
+            }
+            let streamed = sat_batch_streamed(&gpu, params, &imgs, 3);
+            check_outputs(&mats, &imgs, 16);
+            assert_eq!(streamed.images, serial.images);
+            assert_eq!(streamed.kernels, serial.kernels);
+            assert_eq!(streamed.deterministic(), serial.deterministic(), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn streamed_batch_single_stream_is_fully_ordered() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let params = SatParams { w: 4, threads_per_block: 16 };
+        let (mats, imgs) = batch(3, 8, 55);
+        let report = sat_batch_streamed(&gpu, params, &imgs, 1);
+        assert_eq!(report.kernels, 9);
+        check_outputs(&mats, &imgs, 8);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let params = SatParams { w: 4, threads_per_block: 16 };
+        let imgs: Vec<BatchImage<u64>> = Vec::new();
+        let serial = sat_batch_serial(&gpu, params, &imgs);
+        let streamed = sat_batch_streamed(&gpu, params, &imgs, 4);
+        assert_eq!(serial.images, 0);
+        assert_eq!(streamed.kernels, 0);
+        assert_eq!(serial.deterministic(), streamed.deterministic());
+    }
+}

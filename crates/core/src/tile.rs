@@ -204,7 +204,7 @@ impl<T: DeviceElem> VecAux<T> {
 
     /// Coalesced read of tile `(I,J)`'s vector.
     pub fn read_vec(&self, ctx: &mut BlockCtx, ti: usize, tj: usize) -> Vec<T> {
-        let mut v = ctx.scratch(self.grid.w);
+        let mut v = ctx.scratch_overwrite(self.grid.w);
         self.buf.load_row(ctx, self.base(ti, tj), &mut v);
         v
     }
@@ -213,6 +213,29 @@ impl<T: DeviceElem> VecAux<T> {
     pub fn read_vec_into(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, dst: &mut [T]) {
         assert_eq!(dst.len(), self.grid.w);
         self.buf.load_row(ctx, self.base(ti, tj), dst);
+    }
+
+    /// Coalesced read of tile `(I,J)`'s vector into a caller-provided
+    /// stack buffer, returning the filled `w`-long prefix. Accounting is
+    /// identical to [`VecAux::read_vec`]; the stack storage just avoids a
+    /// round-trip through the scratch arena on the per-tile hot path.
+    /// Shared-memory capacity caps realistic tile widths far below
+    /// [`MAX_STACK_W`].
+    pub fn read_vec_stack<'b>(
+        &self,
+        ctx: &mut BlockCtx,
+        ti: usize,
+        tj: usize,
+        buf: &'b mut [T; MAX_STACK_W],
+    ) -> &'b [T] {
+        assert!(
+            self.grid.w <= MAX_STACK_W,
+            "tile width {} exceeds the stack border buffer ({MAX_STACK_W})",
+            self.grid.w
+        );
+        let dst = &mut buf[..self.grid.w];
+        self.buf.load_row(ctx, self.base(ti, tj), dst);
+        dst
     }
 
     /// Coalesced write of tile `(I,J)`'s vector.
@@ -227,6 +250,11 @@ impl<T: DeviceElem> VecAux<T> {
         (0..self.grid.w).map(|k| self.buf.host_read(base + k)).collect()
     }
 }
+
+/// Capacity of the stack-allocated border vectors used on per-tile hot
+/// paths. Any realistic tile is far smaller: shared-memory capacity caps
+/// `W` at `sqrt(capacity / bytes)` (128 for 4-byte floats on TITAN V).
+pub const MAX_STACK_W: usize = 256;
 
 /// Per-tile scalars in global memory (LS / GLS / GS).
 pub struct ScalarAux<T: DeviceElem> {
@@ -271,7 +299,7 @@ pub fn load_tile<T: DeviceElem>(
     tj: usize,
     arrangement: Arrangement,
 ) -> SharedTile<T> {
-    let mut tile = SharedTile::alloc_scratch(ctx, grid.w, arrangement);
+    let mut tile = SharedTile::alloc_scratch_uninit(ctx, grid.w, arrangement);
     tile.load_from_global(ctx, input, grid.elem_offset(ti, tj, 0, 0), grid.n);
     tile
 }
@@ -287,8 +315,8 @@ pub fn load_tile_with_col_sums<T: DeviceElem>(
     tj: usize,
     arrangement: Arrangement,
 ) -> (SharedTile<T>, Vec<T>) {
-    let mut tile = SharedTile::alloc_scratch(ctx, grid.w, arrangement);
-    let mut col_sums: Vec<T> = ctx.scratch(grid.w);
+    let mut tile = SharedTile::alloc_scratch_uninit(ctx, grid.w, arrangement);
+    let mut col_sums: Vec<T> = ctx.scratch_overwrite(grid.w);
     tile.load_from_global_with_col_sums(ctx, input, grid.elem_offset(ti, tj, 0, 0), grid.n, &mut col_sums);
     (tile, col_sums)
 }

@@ -68,6 +68,13 @@ pub struct DeviceConfig {
     /// Number of worker OS threads used to execute resident blocks in
     /// [`crate::launch::ExecMode::Concurrent`] mode.
     pub host_workers: usize,
+    /// Number of poll iterations after which a concurrent soft-sync wait
+    /// ([`crate::sync::StatusBoard::wait_at_least`]) panics with a
+    /// deadlock diagnostic. Waits back off adaptively (spin, then yield,
+    /// then sleep), so the limit bounds wall-clock hang time; legitimate
+    /// waits complete within a few thousand iterations. Stress tests
+    /// lower this to trigger the panic quickly.
+    pub deadlock_limit: u64,
 }
 
 impl DeviceConfig {
@@ -92,6 +99,7 @@ impl DeviceConfig {
             per_block_bandwidth: 20.0e9,
             core_clock_hz: 1.455e9,
             host_workers: 8,
+            deadlock_limit: 5_000_000,
         }
     }
 
@@ -163,6 +171,7 @@ impl DeviceConfig {
             per_block_bandwidth: 10.0e9,
             core_clock_hz: 1.0e9,
             host_workers: 3,
+            deadlock_limit: 5_000_000,
         }
     }
 

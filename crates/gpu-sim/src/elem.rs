@@ -9,6 +9,26 @@
 //! these relaxed accesses: it always goes through [`crate::sync`]'s
 //! acquire/release status flags, exactly like a CUDA kernel publishing data
 //! through a flag in global memory.
+//!
+//! ## Bulk transfers
+//!
+//! Per-element atomic accesses have one real cost: LLVM must not coalesce
+//! or vectorize atomic operations, so a loop of relaxed loads runs one
+//! element per instruction while the equivalent `memcpy` moves a cache
+//! line per instruction. The bulk slice helpers on [`DeviceElem`]
+//! (`load_slice`/`store_slice`/`copy_slice`/`fill_slice`) therefore move
+//! whole ranges with plain (non-atomic) loads and stores, which the
+//! built-in element types implement as `memcpy`/`memset`.
+//!
+//! **Data-race contract:** a bulk transfer is a plain access, so the range
+//! it touches must be data-race-free for the duration of the call. Every
+//! caller inside the simulator satisfies this the same way a correct CUDA
+//! kernel does: a block only bulk-accesses ranges it owns for the current
+//! kernel, or ranges whose publication it observed through an
+//! acquire/release status flag ([`crate::sync::StatusBoard`]), which
+//! establishes the happens-before edge that makes the plain access
+//! race-free. Racy *scalar* accesses remain well-defined (they stay
+//! atomic); only the bulk paths assume the soft-sync discipline.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -98,6 +118,96 @@ pub trait DeviceElem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug
     /// Lossy conversion from a small integer, used by workload generators
     /// and closed-form test oracles.
     fn from_u32(v: u32) -> Self;
+
+    /// Bulk load: `dst[k] = from_bits(src[k].load_bits())` for the whole
+    /// range. Callers must guarantee the source range is data-race-free
+    /// for the duration of the call (see the module docs); implementations
+    /// may then use plain loads instead of atomics.
+    fn load_slice(src: &[Self::Atom], dst: &mut [Self]) {
+        assert_eq!(src.len(), dst.len(), "bulk load length mismatch");
+        for (d, a) in dst.iter_mut().zip(src) {
+            *d = Self::from_bits(a.load_bits());
+        }
+    }
+
+    /// Bulk store: `dst[k].store_bits(src[k].to_bits())` for the whole
+    /// range, under the same data-race-freedom contract as
+    /// [`DeviceElem::load_slice`].
+    fn store_slice(dst: &[Self::Atom], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "bulk store length mismatch");
+        for (a, s) in dst.iter().zip(src) {
+            a.store_bits(s.to_bits());
+        }
+    }
+
+    /// Bulk device-to-device copy of whole ranges (may overlap), under the
+    /// data-race-freedom contract of [`DeviceElem::load_slice`].
+    fn copy_slice(dst: &[Self::Atom], src: &[Self::Atom]) {
+        assert_eq!(dst.len(), src.len(), "bulk copy length mismatch");
+        for (d, s) in dst.iter().zip(src) {
+            d.store_bits(s.load_bits());
+        }
+    }
+
+    /// Bulk fill of a range with one value, under the data-race-freedom
+    /// contract of [`DeviceElem::load_slice`].
+    fn fill_slice(dst: &[Self::Atom], v: Self) {
+        for a in dst {
+            a.store_bits(v.to_bits());
+        }
+    }
+}
+
+/// Overrides the bulk slice helpers with `memcpy`/`memset`-style plain
+/// accesses for element types whose `to_bits`/`from_bits` are bit-pattern
+/// reinterpretations of an atomic word of identical size (all built-in
+/// impls). Writing through a shared reference is sound because the atomic
+/// words have interior mutability; race freedom is the caller's contract.
+macro_rules! impl_bulk_bitcopy {
+    () => {
+        #[inline]
+        fn load_slice(src: &[Self::Atom], dst: &mut [Self]) {
+            assert_eq!(src.len(), dst.len(), "bulk load length mismatch");
+            // SAFETY: `Self::Atom` is `AtomicU32`/`AtomicU64`, which std
+            // documents as having the same in-memory representation as the
+            // underlying integer, and `from_bits` reinterprets that bit
+            // pattern into `Self` of the same size. The destination is a
+            // fresh `&mut` slice, so the ranges cannot overlap. Race
+            // freedom of the source range is the caller's contract.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr() as *const Self, dst.as_mut_ptr(), dst.len());
+            }
+        }
+
+        #[inline]
+        fn store_slice(dst: &[Self::Atom], src: &[Self]) {
+            assert_eq!(dst.len(), src.len(), "bulk store length mismatch");
+            // SAFETY: as in `load_slice`; the atomic words' interior
+            // mutability permits writing through the shared reference, and
+            // `&[Self]` cannot alias device memory.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_ptr() as *const Self as *mut Self, src.len());
+            }
+        }
+
+        #[inline]
+        fn copy_slice(dst: &[Self::Atom], src: &[Self::Atom]) {
+            assert_eq!(dst.len(), src.len(), "bulk copy length mismatch");
+            // SAFETY: as in `store_slice`; `copy` (memmove) keeps the
+            // element-wise result well-defined even for overlapping ranges.
+            unsafe {
+                std::ptr::copy(src.as_ptr() as *const Self, dst.as_ptr() as *const Self as *mut Self, dst.len());
+            }
+        }
+
+        #[inline]
+        fn fill_slice(dst: &[Self::Atom], v: Self) {
+            // SAFETY: as in `store_slice`.
+            unsafe {
+                std::slice::from_raw_parts_mut(dst.as_ptr() as *const Self as *mut Self, dst.len()).fill(v);
+            }
+        }
+    };
 }
 
 macro_rules! impl_device_elem {
@@ -135,6 +245,8 @@ macro_rules! impl_device_elem {
             fn from_u32(v: u32) -> Self {
                 v as $ty
             }
+
+            impl_bulk_bitcopy!();
         }
     };
 }
@@ -177,6 +289,8 @@ impl DeviceElem for f32 {
     fn from_u32(v: u32) -> Self {
         v as f32
     }
+
+    impl_bulk_bitcopy!();
 }
 
 impl DeviceElem for f64 {
@@ -212,6 +326,8 @@ impl DeviceElem for f64 {
     fn from_u32(v: u32) -> Self {
         v as f64
     }
+
+    impl_bulk_bitcopy!();
 }
 
 #[cfg(test)]
@@ -268,6 +384,36 @@ mod tests {
         assert_eq!(<f32 as DeviceElem>::BYTES, 4);
         assert_eq!(<u64 as DeviceElem>::BYTES, 8);
         assert_eq!(<f64 as DeviceElem>::BYTES, 8);
+    }
+
+    #[test]
+    fn bulk_slice_helpers_match_scalar_paths() {
+        let atoms: Vec<AtomicU32> =
+            (0..67u32).map(|v| AtomicU32::new(DeviceElem::to_bits(v as f32 * 1.5 - 3.25))).collect();
+        let mut bulk = vec![0.0f32; atoms.len()];
+        f32::load_slice(&atoms, &mut bulk);
+        for (k, b) in bulk.iter().enumerate() {
+            assert_eq!(b.to_bits(), <f32 as DeviceElem>::from_bits(atoms[k].load_bits()).to_bits());
+        }
+        let dst: Vec<AtomicU32> = (0..atoms.len()).map(|_| AtomicU32::new(0)).collect();
+        f32::store_slice(&dst, &bulk);
+        for (a, b) in dst.iter().zip(&bulk) {
+            assert_eq!(a.load_bits(), b.to_bits());
+        }
+        f32::fill_slice(&dst, -2.5);
+        for a in &dst {
+            assert_eq!(<f32 as DeviceElem>::from_bits(a.load_bits()), -2.5);
+        }
+    }
+
+    #[test]
+    fn bulk_copy_has_memmove_semantics_on_overlap() {
+        let atoms: Vec<AtomicU64> = (0..16u64).map(AtomicU64::new).collect();
+        // Copy [0..8) over [4..12): overlapping ranges must behave as if
+        // the source were read first (memmove), i.e. dst[k] = old src[k].
+        u64::copy_slice(&atoms[4..12], &atoms[0..8]);
+        let got: Vec<u64> = atoms.iter().map(|a| a.load_bits()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 12, 13, 14, 15]);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! The persistent worker-pool executor behind [`ExecMode::Concurrent`]
+//! (crate-private; the public surface is [`crate::launch::Gpu`] and
+//! [`crate::stream::Stream`]).
+//!
+//! One pool of OS threads is started lazily per [`Gpu`](crate::launch::Gpu)
+//! lineage and parked between launches. A launch becomes a [`LaunchJob`]:
+//! workers claim blocks off the job's atomic cursor (bounded residency,
+//! exactly like SMs picking blocks off the hardware scheduler), absorb
+//! counters into the job's accumulator, and wake the submitter — or hand
+//! the completion to a [`Stream`](crate::stream::Stream) for stream-ordered
+//! continuation. Compared to the old per-launch `thread::scope`, this
+//! removes thread spawn/join from every launch and lets each worker keep a
+//! warm [`ScratchArena`] across launches, which is what makes back-to-back
+//! kernel launches cheap enough to model CUDA's fixed launch overhead
+//! honestly.
+//!
+//! Panic discipline: the first panicking block wins; its payload is stored
+//! on the job, the job's `aborted` flag stops other blocks from starting
+//! (and makes soft-sync waiters of the dead producer fail fast via
+//! [`BlockCtx::abort_requested`]), and the submitter re-raises the payload
+//! from [`LaunchJob::wait`], so `#[should_panic]` tests behave identically
+//! in sequential and concurrent mode.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::device::DeviceConfig;
+use crate::launch::{BlockCtx, LaunchConfig, ScratchArena};
+use crate::metrics::{CriticalPath, KernelAccumulator, KernelMetrics};
+use crate::stream::StreamShared;
+use crate::trace::{EventKind, Tracer};
+
+/// A type-erased kernel body.
+pub(crate) enum Body {
+    /// Borrowed from a blocking caller that outlives the job (a
+    /// synchronous `Gpu::launch`).
+    Borrowed(BorrowedBody),
+    /// Owned closure from an asynchronous `Stream::enqueue`.
+    Owned(Box<dyn Fn(&mut BlockCtx) + Send + Sync + 'static>),
+}
+
+/// A caller-owned kernel body with its lifetime erased.
+///
+/// Lifetime contract: a `BorrowedBody` is only created by submitters that
+/// block on [`LaunchJob::wait`] before returning, and every call happens
+/// while some block of the job is still unfinished — i.e. strictly before
+/// `wait` can return — so the closure outlives all uses. The `'static` in
+/// the field type is an erasure, not a claim.
+pub(crate) struct BorrowedBody(&'static (dyn Fn(&mut BlockCtx) + Sync));
+
+impl BorrowedBody {
+    pub(crate) fn new(body: &(dyn Fn(&mut BlockCtx) + Sync)) -> Self {
+        // SAFETY: lifetime erasure under the contract in the type docs.
+        BorrowedBody(unsafe {
+            std::mem::transmute::<&(dyn Fn(&mut BlockCtx) + Sync), &'static (dyn Fn(&mut BlockCtx) + Sync)>(
+                body,
+            )
+        })
+    }
+}
+
+impl Body {
+    fn call(&self, ctx: &mut BlockCtx) {
+        match self {
+            Body::Borrowed(b) => (b.0)(ctx),
+            Body::Owned(f) => f(ctx),
+        }
+    }
+}
+
+/// A type-erased tracer reference carried by a job.
+pub(crate) enum TracerRef {
+    /// No tracing.
+    None,
+    /// Borrowed from a blocking caller, lifetime-erased under the same
+    /// contract as [`BorrowedBody`].
+    Borrowed(&'static Tracer),
+    /// Shared tracer for asynchronous stream jobs.
+    Shared(Arc<Tracer>),
+}
+
+impl TracerRef {
+    pub(crate) fn borrowed(t: &Tracer) -> Self {
+        // SAFETY: lifetime erasure under the `BorrowedBody` contract — the
+        // submitter owns the tracer and blocks until the job completes.
+        TracerRef::Borrowed(unsafe { std::mem::transmute::<&Tracer, &'static Tracer>(t) })
+    }
+
+    fn get(&self) -> Option<&Tracer> {
+        match self {
+            TracerRef::None => None,
+            TracerRef::Borrowed(t) => Some(t),
+            TracerRef::Shared(t) => Some(t),
+        }
+    }
+}
+
+#[derive(Default)]
+struct JobState {
+    complete: bool,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One kernel launch in flight on the pool.
+pub(crate) struct LaunchJob {
+    label: String,
+    blocks: usize,
+    threads_per_block: usize,
+    critical_path: CriticalPath,
+    ilp: usize,
+    cfg: DeviceConfig,
+    /// Dispatch permutation; empty means identity (in-order dispatch).
+    order: Vec<usize>,
+    body: Body,
+    tracer: TracerRef,
+    /// Next unclaimed dispatch position.
+    cursor: AtomicUsize,
+    /// Number of blocks fully executed (or skipped after an abort).
+    finished: AtomicUsize,
+    /// Set when any block panics: remaining blocks are skipped and
+    /// soft-sync waiters fail fast.
+    aborted: AtomicBool,
+    acc: KernelAccumulator,
+    state: Mutex<JobState>,
+    done: Condvar,
+    started: Instant,
+    /// Stream to notify on completion (stream-ordered submission). Weak so
+    /// queued jobs do not keep their stream alive in a reference cycle.
+    stream: Option<Weak<StreamShared>>,
+    /// Whether the owning stream should record this job's metrics at
+    /// completion (false when a blocking caller collects them instead).
+    record_in_stream: bool,
+}
+
+impl LaunchJob {
+    pub(crate) fn new(
+        lc: LaunchConfig,
+        cfg: DeviceConfig,
+        order: Vec<usize>,
+        body: Body,
+        tracer: TracerRef,
+        stream: Option<Weak<StreamShared>>,
+        record_in_stream: bool,
+    ) -> Self {
+        LaunchJob {
+            label: lc.label,
+            blocks: lc.blocks,
+            threads_per_block: lc.threads_per_block,
+            critical_path: lc.critical_path,
+            ilp: lc.ilp,
+            cfg,
+            order,
+            body,
+            tracer,
+            cursor: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            acc: KernelAccumulator::default(),
+            state: Mutex::new(JobState::default()),
+            done: Condvar::new(),
+            started: Instant::now(),
+            stream,
+            record_in_stream,
+        }
+    }
+
+    pub(crate) fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    pub(crate) fn record_in_stream(&self) -> bool {
+        self.record_in_stream
+    }
+
+    /// Whether every dispatch position has been claimed by some worker
+    /// (the job may still be executing its last blocks).
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.blocks
+    }
+
+    /// Whether any block of this job panicked.
+    pub(crate) fn panicked(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Remove and return the stored panic payload, if any.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+
+    /// Claim and execute blocks until none remain.
+    fn run_blocks(&self, pool: &PoolShared, arena: &mut ScratchArena) {
+        loop {
+            let k = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= self.blocks {
+                break;
+            }
+            if !self.aborted.load(Ordering::Relaxed) {
+                let block_idx = if self.order.is_empty() { k } else { self.order[k] };
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = BlockCtx::for_worker(
+                        block_idx,
+                        self.threads_per_block,
+                        &self.cfg,
+                        self.tracer.get(),
+                        arena,
+                        &self.aborted,
+                    );
+                    ctx.trace(EventKind::BlockStart);
+                    self.body.call(&mut ctx);
+                    ctx.trace(EventKind::BlockEnd);
+                    self.acc.absorb(&ctx.stats);
+                }));
+                if let Err(p) = result {
+                    self.aborted.store(true, Ordering::Relaxed);
+                    let mut st = self.state.lock().unwrap();
+                    if st.panic.is_none() {
+                        st.panic = Some(p);
+                    }
+                }
+            }
+            self.note_block_done(pool);
+        }
+    }
+
+    fn note_block_done(&self, pool: &PoolShared) {
+        if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.blocks {
+            self.complete(pool);
+        }
+    }
+
+    /// All blocks done: wake the submitter and advance the owning stream.
+    fn complete(&self, pool: &PoolShared) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.complete = true;
+        }
+        self.done.notify_all();
+        if let Some(stream) = self.stream.as_ref().and_then(Weak::upgrade) {
+            stream.on_job_complete(pool, self);
+        }
+    }
+
+    /// Complete a zero-block job inline (the pool never sees it).
+    pub(crate) fn finish_empty(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.complete = true;
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Complete a job that will never run because an earlier launch in its
+    /// stream panicked; blocking waiters observe `msg` as a panic.
+    pub(crate) fn finish_cancelled(&self, msg: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.panic = Some(Box::new(msg.to_string()));
+        st.complete = true;
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Block until every block has executed; re-raises the first panic.
+    pub(crate) fn wait(&self) -> KernelMetrics {
+        let mut st = self.state.lock().unwrap();
+        while !st.complete {
+            st = self.done.wait(st).unwrap();
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+        drop(st);
+        self.metrics()
+    }
+
+    /// The launch's aggregated metrics. `host_seconds` spans submission to
+    /// completion, so for stream jobs it includes time queued behind
+    /// earlier launches of the same stream.
+    pub(crate) fn metrics(&self) -> KernelMetrics {
+        KernelMetrics {
+            label: self.label.clone(),
+            blocks: self.blocks,
+            threads_per_block: self.threads_per_block,
+            stats: self.acc.snapshot(),
+            critical_path: self.critical_path,
+            ilp: self.ilp,
+            host_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Arc<LaunchJob>>,
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its worker threads.
+pub(crate) struct PoolShared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl PoolShared {
+    /// Enqueue a job for the workers (`blocks` must be non-zero; empty
+    /// launches complete inline without touching the pool).
+    pub(crate) fn submit(&self, job: Arc<LaunchJob>) {
+        debug_assert!(job.blocks > 0, "zero-block jobs complete inline");
+        let mut q = self.queue.lock().unwrap();
+        q.jobs.push_back(job);
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Submit and block until the job completes: a synchronous launch.
+    pub(crate) fn run(&self, job: Arc<LaunchJob>) -> KernelMetrics {
+        self.submit(Arc::clone(&job));
+        job.wait()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    // The arena persists across launches: a worker that just ran kernel K
+    // serves kernel K+1's scratch takes from warm buffers.
+    let mut arena = ScratchArena::new();
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                // Jobs whose blocks are all claimed complete on the workers
+                // still running them; drop them from the queue so newer
+                // jobs (e.g. other streams) can overlap.
+                q.jobs.retain(|j| !j.exhausted());
+                if let Some(j) = q.jobs.front() {
+                    break Arc::clone(j);
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        job.run_blocks(shared, &mut arena);
+    }
+}
+
+/// The persistent worker pool: threads are spawned once, parked on a
+/// condvar between launches, and joined when the owning engine drops.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn the workers. More workers than host cores cannot add
+    /// throughput — the simulation is CPU-bound — but oversubscription
+    /// makes soft-sync spin loops fight the producers they wait on for the
+    /// same cores, so cap at the host's real parallelism.
+    pub(crate) fn new(cfg: &DeviceConfig) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = cfg.host_workers.max(1).min(cores);
+        let shared = Arc::new(PoolShared { queue: Mutex::new(QueueState::default()), ready: Condvar::new() });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gpu-sim-worker-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn gpu-sim pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// The submission handle shared with streams.
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.ready_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl WorkerPool {
+    fn ready_all(&self) {
+        self.shared.ready.notify_all();
+    }
+}

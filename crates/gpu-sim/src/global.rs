@@ -43,9 +43,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// Allocate and fill from host data (models host-to-device copy).
     pub fn from_slice(src: &[T]) -> Self {
         let buf = Self::zeroed(src.len());
-        for (i, &v) in src.iter().enumerate() {
-            buf.data[i].store_bits(v.to_bits());
-        }
+        T::store_slice(&buf.data, src);
         buf
     }
 
@@ -73,15 +71,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
 
     /// Copy the whole buffer back to the host (models device-to-host copy).
     pub fn to_vec(&self) -> Vec<T> {
-        (0..self.len).map(|i| self.host_read(i)).collect()
+        let mut v = vec![T::zero(); self.len];
+        T::load_slice(&self.data, &mut v);
+        v
     }
 
     /// Host-side bulk fill.
     pub fn host_fill(&self, v: T) {
-        let bits = v.to_bits();
-        for a in self.data.iter() {
-            a.store_bits(bits);
-        }
+        T::fill_slice(&self.data, v);
     }
 
     // ------------------------------------------------------------------
@@ -124,17 +121,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     }
 
     /// Coalesced bulk read of `dst.len()` consecutive elements starting at
-    /// `offset`. Charges counters once per call; the inner loop runs over a
-    /// pre-sliced range, so it compiles without per-element bounds checks
-    /// (the relaxed atom loads are plain moves on x86-64/aarch64).
+    /// `offset`. Charges counters once per call; the data moves through
+    /// [`DeviceElem::load_slice`], a `memcpy` for the built-in element
+    /// types (see the data-race contract in [`crate::elem`]).
     pub fn load_row(&self, ctx: &mut BlockCtx, offset: usize, dst: &mut [T]) {
         let n = dst.len() as u64;
         ctx.stats.global_reads += n;
         ctx.stats.bytes_read += n * T::BYTES;
-        let src = &self.data[offset..offset + dst.len()];
-        for (d, a) in dst.iter_mut().zip(src) {
-            *d = T::from_bits(a.load_bits());
-        }
+        T::load_slice(&self.data[offset..offset + dst.len()], dst);
     }
 
     /// Coalesced bulk write of consecutive elements starting at `offset`.
@@ -142,10 +136,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         let n = src.len() as u64;
         ctx.stats.global_writes += n;
         ctx.stats.bytes_written += n * T::BYTES;
-        let dst = &self.data[offset..offset + src.len()];
-        for (a, &v) in dst.iter().zip(src) {
-            a.store_bits(v.to_bits());
-        }
+        T::store_slice(&self.data[offset..offset + src.len()], src);
     }
 
     /// Strided bulk read: `dst.len()` elements at `start`, `start+stride`,
@@ -190,10 +181,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.bytes_read += n * T::BYTES;
         for (r, chunk) in dst.chunks_exact_mut(row_len.max(1)).enumerate() {
             let base = offset + r * stride;
-            let src = &self.data[base..base + chunk.len()];
-            for (d, a) in chunk.iter_mut().zip(src) {
-                *d = T::from_bits(a.load_bits());
-            }
+            T::load_slice(&self.data[base..base + chunk.len()], chunk);
         }
     }
 
@@ -205,10 +193,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.bytes_written += n * T::BYTES;
         for (r, chunk) in src.chunks_exact(row_len.max(1)).enumerate() {
             let base = offset + r * stride;
-            let dst = &self.data[base..base + chunk.len()];
-            for (a, &v) in dst.iter().zip(chunk) {
-                a.store_bits(v.to_bits());
-            }
+            T::store_slice(&self.data[base..base + chunk.len()], chunk);
         }
     }
 
@@ -218,10 +203,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     pub fn fill(&self, ctx: &mut BlockCtx, offset: usize, len: usize, v: T) {
         ctx.stats.global_writes += len as u64;
         ctx.stats.bytes_written += len as u64 * T::BYTES;
-        let bits = v.to_bits();
-        for a in &self.data[offset..offset + len] {
-            a.store_bits(bits);
-        }
+        T::fill_slice(&self.data[offset..offset + len], v);
     }
 
     /// Accounted device-side copy between buffers: `len` elements from
@@ -242,11 +224,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.bytes_read += n * T::BYTES;
         ctx.stats.global_writes += n;
         ctx.stats.bytes_written += n * T::BYTES;
-        let from = &src.data[src_offset..src_offset + len];
-        let to = &self.data[dst_offset..dst_offset + len];
-        for (a, b) in to.iter().zip(from) {
-            a.store_bits(b.load_bits());
-        }
+        T::copy_slice(&self.data[dst_offset..dst_offset + len], &src.data[src_offset..src_offset + len]);
     }
 
     /// Accounted in-buffer copy (`cudaMemcpyDeviceToDevice` within one
@@ -263,11 +241,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.bytes_read += n * T::BYTES;
         ctx.stats.global_writes += n;
         ctx.stats.bytes_written += n * T::BYTES;
-        let from = &self.data[src_offset..src_offset + len];
-        let to = &self.data[dst_offset..dst_offset + len];
-        for (a, b) in to.iter().zip(from) {
-            a.store_bits(b.load_bits());
-        }
+        T::copy_slice(&self.data[dst_offset..dst_offset + len], &self.data[src_offset..src_offset + len]);
     }
 
     /// Device `atomicAdd`: atomically add `v` to element `i`, returning the

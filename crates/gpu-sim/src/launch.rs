@@ -14,21 +14,26 @@
 //!   thread in dispatch order. Deterministic, fast, and it converts soft-
 //!   synchronization ordering bugs into immediate panics (see
 //!   [`crate::sync::StatusBoard::wait_at_least`]).
-//! * [`ExecMode::Concurrent`] — a pool of OS worker threads executes
-//!   blocks with bounded residency, like SMs do. Flag spinning, atomic ID
-//!   assignment, and publication ordering are exercised for real.
+//! * [`ExecMode::Concurrent`] — the persistent worker pool
+//!   ([`crate::executor`]) executes blocks with bounded residency, like
+//!   SMs do. Flag spinning, atomic ID assignment, and publication ordering
+//!   are exercised for real, and back-to-back launches reuse warm threads
+//!   and their scratch arenas instead of re-paying thread spawn/join.
+//!
+//! On top of the pool, [`Gpu::stream`] opens a CUDA-stream-style handle
+//! for asynchronous, stream-ordered launches ([`crate::stream`]).
 
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::device::DeviceConfig;
 use crate::elem::DeviceElem;
+use crate::executor::{Body, BorrowedBody, LaunchJob, TracerRef, WorkerPool};
 use crate::metrics::{BlockStats, CriticalPath, KernelAccumulator, KernelMetrics};
+use crate::stream::Stream;
 use crate::trace::{EventKind, Tracer};
-
-use std::sync::Arc;
 
 /// How blocks are executed on the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -145,12 +150,15 @@ impl LaunchConfig {
 /// steady state block bodies perform **zero** heap allocations: every
 /// buffer is reused from an earlier block that ran on the same worker.
 ///
-/// Buffers are typed `Vec<T>`s stored behind `dyn Any`; a take clears the
-/// buffer and zero-fills it to the requested length, so a scratch buffer is
-/// indistinguishable from a fresh `vec![T::zero(); len]`.
+/// Buffers are typed `Vec<T>`s; each element type's pool is one
+/// `Vec<Vec<T>>` stored behind a single `dyn Any` box, so steady-state
+/// take/put moves a `Vec` header in and out of the pool without touching
+/// the heap (the old design re-boxed the vec on every recycle). The pool
+/// list itself is a small linear-scanned `Vec` — kernels use at most a
+/// couple of element types, so this beats hashing a `TypeId` per call.
 #[derive(Default)]
 pub struct ScratchArena {
-    pools: HashMap<TypeId, Vec<Box<dyn Any>>>,
+    pools: Vec<(TypeId, Box<dyn Any + Send>)>,
 }
 
 impl ScratchArena {
@@ -159,14 +167,35 @@ impl ScratchArena {
         Self::default()
     }
 
-    fn take<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
-        let pool = self.pools.entry(TypeId::of::<T>()).or_default();
-        let mut v: Vec<T> = match pool.pop() {
-            Some(b) => *b.downcast::<Vec<T>>().expect("scratch pool holds Vec<T>"),
-            None => Vec::new(),
+    fn pool_mut<T: DeviceElem>(&mut self) -> &mut Vec<Vec<T>> {
+        let id = TypeId::of::<T>();
+        let idx = match self.pools.iter().position(|(t, _)| *t == id) {
+            Some(i) => i,
+            None => {
+                self.pools.push((id, Box::new(Vec::<Vec<T>>::new())));
+                self.pools.len() - 1
+            }
         };
-        v.clear();
-        v.resize(len, T::zero());
+        self.pools[idx].1.downcast_mut::<Vec<Vec<T>>>().expect("scratch pool holds Vec<Vec<T>>")
+    }
+
+    /// A pooled buffer resized to `len` whose contents are unspecified
+    /// stale values (only growth beyond the recycled length is zeroed).
+    fn take_raw<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
+        let mut v = self.pool_mut::<T>().pop().unwrap_or_default();
+        if v.len() >= len {
+            v.truncate(len);
+        } else {
+            v.resize(len, T::zero());
+        }
+        v
+    }
+
+    /// A pooled buffer of `len` zeros, indistinguishable from a fresh
+    /// `vec![T::zero(); len]`.
+    fn take<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
+        let mut v = self.take_raw(len);
+        v.fill(T::zero());
         v
     }
 
@@ -174,7 +203,7 @@ impl ScratchArena {
         if v.capacity() == 0 {
             return;
         }
-        self.pools.entry(TypeId::of::<T>()).or_default().push(Box::new(v));
+        self.pool_mut::<T>().push(v);
     }
 }
 
@@ -188,11 +217,41 @@ pub struct BlockCtx<'a> {
     cfg: &'a DeviceConfig,
     tracer: Option<&'a Tracer>,
     arena: &'a mut ScratchArena,
+    /// Set by the executor when another block of the same launch panicked;
+    /// soft-sync waits poll it so consumers of a dead producer fail fast
+    /// instead of spinning to the deadlock limit.
+    abort: Option<&'a AtomicBool>,
     /// The block's access counters; buffer and tile accessors charge here.
     pub stats: BlockStats,
 }
 
 impl<'a> BlockCtx<'a> {
+    /// Context for one block run by the worker pool (never sequential).
+    pub(crate) fn for_worker(
+        block_idx: usize,
+        threads_per_block: usize,
+        cfg: &'a DeviceConfig,
+        tracer: Option<&'a Tracer>,
+        arena: &'a mut ScratchArena,
+        abort: &'a AtomicBool,
+    ) -> Self {
+        BlockCtx {
+            block_idx,
+            threads_per_block,
+            sequential: false,
+            cfg,
+            tracer,
+            arena,
+            abort: Some(abort),
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Whether the launch was aborted because another block panicked.
+    pub(crate) fn abort_requested(&self) -> bool {
+        self.abort.is_some_and(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
     /// The block's index within the grid (CUDA `blockIdx.x`). Note this is
     /// the *logical* index — dispatch order does not change it, which is
     /// exactly why SKSS kernels must use a
@@ -249,25 +308,64 @@ impl<'a> BlockCtx<'a> {
         self.arena.take(len)
     }
 
+    /// Take a scratch buffer of `len` elements whose contents are
+    /// **unspecified stale values** — the caller must fully overwrite it
+    /// before reading. This models real CUDA shared memory (which is never
+    /// zeroed on allocation) and skips the zero-fill of
+    /// [`BlockCtx::scratch`], which is pure waste for buffers that are
+    /// immediately loaded from global memory.
+    pub fn scratch_overwrite<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
+        self.arena.take_raw(len)
+    }
+
     /// Return a scratch buffer to the worker's pool for reuse.
     pub fn recycle<T: DeviceElem>(&mut self, v: Vec<T>) {
         self.arena.put(v);
     }
 }
 
+/// State shared by every clone of a [`Gpu`]: the lazily started worker
+/// pool and the persistent sequential-mode scratch arena. Sharing it
+/// through an `Arc` means builder-style clones (`with_mode`, `with_dispatch`)
+/// and streams all reuse the same warm workers.
+#[derive(Default)]
+pub(crate) struct Engine {
+    pool: OnceLock<WorkerPool>,
+    seq_arena: Mutex<ScratchArena>,
+}
+
 /// A simulated GPU: a device description plus an execution policy.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Gpu {
     cfg: DeviceConfig,
     mode: ExecMode,
     dispatch: DispatchOrder,
     tracer: Option<Arc<Tracer>>,
+    engine: Arc<Engine>,
+    bound: Option<Stream>,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cfg", &self.cfg)
+            .field("mode", &self.mode)
+            .field("dispatch", &self.dispatch)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Gpu {
     /// A GPU in deterministic sequential mode with in-order dispatch.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Gpu { cfg, mode: ExecMode::Sequential, dispatch: DispatchOrder::InOrder, tracer: None }
+        Gpu {
+            cfg,
+            mode: ExecMode::Sequential,
+            dispatch: DispatchOrder::InOrder,
+            tracer: None,
+            engine: Arc::new(Engine::default()),
+            bound: None,
+        }
     }
 
     /// Attach a tracer that records every launch made through this handle
@@ -305,6 +403,38 @@ impl Gpu {
         self.dispatch
     }
 
+    /// The shared worker pool, started on first use.
+    fn pool(&self) -> &WorkerPool {
+        self.engine.pool.get_or_init(|| WorkerPool::new(&self.cfg))
+    }
+
+    /// Open an asynchronous stream on this GPU (CUDA `cudaStreamCreate`).
+    ///
+    /// Launches enqueued on one stream execute in order; launches on
+    /// different streams overlap on the shared worker pool. The stream
+    /// inherits this handle's device, dispatch order, and tracer.
+    pub fn stream(&self) -> Stream {
+        Stream::new(
+            Arc::clone(self.pool().shared()),
+            self.cfg.clone(),
+            self.dispatch,
+            self.tracer.clone(),
+        )
+    }
+
+    /// A handle whose `launch` calls execute as stream-ordered operations
+    /// on `stream`: each launch still blocks and returns its metrics, but
+    /// it runs on the worker pool, ordered after everything previously
+    /// enqueued on the stream. This lets unmodified multi-kernel
+    /// algorithms (which call [`Gpu::launch`] internally) participate in a
+    /// stream pipeline. The execution mode is ignored for bound handles —
+    /// stream operations are concurrent by definition.
+    pub fn bind_stream(&self, stream: &Stream) -> Gpu {
+        let mut g = self.clone();
+        g.bound = Some(stream.clone());
+        g
+    }
+
     /// Launch a kernel: run `body` once per block and return the launch's
     /// aggregated metrics.
     ///
@@ -340,23 +470,40 @@ impl Gpu {
             lc.threads_per_block,
             self.cfg.max_threads_per_block
         );
-        let order = self.dispatch.permutation(lc.blocks);
-        let acc = KernelAccumulator::default();
-        let start = Instant::now();
+        if let Some(stream) = &self.bound {
+            return stream.launch_blocking(lc, tracer, &body);
+        }
+        // `InOrder` keeps an empty permutation: dispatch position == block
+        // index, no allocation per launch.
+        let order = match self.dispatch {
+            DispatchOrder::InOrder => Vec::new(),
+            d => d.permutation(lc.blocks),
+        };
 
         match self.mode {
             ExecMode::Sequential => {
-                // One scratch arena for the whole launch: block N+1 reuses
-                // the buffers block N recycled.
-                let mut arena = ScratchArena::new();
-                for &b in &order {
+                let acc = KernelAccumulator::default();
+                let start = Instant::now();
+                // One persistent scratch arena shared by every sequential
+                // launch of this GPU: block N+1 reuses buffers block N
+                // recycled, and launch N+1 reuses launch N's. Falls back
+                // to a launch-local arena if another thread is mid-launch.
+                let mut local = ScratchArena::new();
+                let mut guard = self.engine.seq_arena.try_lock();
+                let arena: &mut ScratchArena = match guard {
+                    Ok(ref mut g) => g,
+                    Err(_) => &mut local,
+                };
+                for k in 0..lc.blocks {
+                    let b = if order.is_empty() { k } else { order[k] };
                     let mut ctx = BlockCtx {
                         block_idx: b,
                         threads_per_block: lc.threads_per_block,
                         sequential: true,
                         cfg: &self.cfg,
                         tracer,
-                        arena: &mut arena,
+                        arena,
+                        abort: None,
                         stats: BlockStats::default(),
                     };
                     ctx.trace(EventKind::BlockStart);
@@ -364,59 +511,48 @@ impl Gpu {
                     ctx.trace(EventKind::BlockEnd);
                     acc.absorb(&ctx.stats);
                 }
+                KernelMetrics {
+                    label: lc.label,
+                    blocks: lc.blocks,
+                    threads_per_block: lc.threads_per_block,
+                    stats: acc.snapshot(),
+                    critical_path: lc.critical_path,
+                    ilp: lc.ilp,
+                    host_seconds: start.elapsed().as_secs_f64(),
+                }
             }
             ExecMode::Concurrent => {
-                // More workers than host cores cannot add throughput — the
-                // simulation is CPU-bound — but oversubscription makes the
-                // soft-sync spin loops fight the producers they wait on for
-                // the same cores, so cap at the host's real parallelism.
-                let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-                let workers = self.cfg.host_workers.max(1).min(cores).min(lc.blocks.max(1));
-                let cursor = AtomicUsize::new(0);
-                let cursor = &cursor;
-                let order = &order;
-                let body = &body;
-                let acc_ref = &acc;
-                let cfg = &self.cfg;
-                let tpb = lc.threads_per_block;
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(move || {
-                            // Arena per worker thread: no sharing, no locks.
-                            let mut arena = ScratchArena::new();
-                            loop {
-                                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                                if k >= order.len() {
-                                    break;
-                                }
-                                let mut ctx = BlockCtx {
-                                    block_idx: order[k],
-                                    threads_per_block: tpb,
-                                    sequential: false,
-                                    cfg,
-                                    tracer,
-                                    arena: &mut arena,
-                                    stats: BlockStats::default(),
-                                };
-                                ctx.trace(EventKind::BlockStart);
-                                body(&mut ctx);
-                                ctx.trace(EventKind::BlockEnd);
-                                acc_ref.absorb(&ctx.stats);
-                            }
-                        });
-                    }
-                });
+                if lc.blocks == 0 {
+                    return KernelMetrics {
+                        label: lc.label,
+                        blocks: 0,
+                        threads_per_block: lc.threads_per_block,
+                        stats: BlockStats::default(),
+                        critical_path: lc.critical_path,
+                        ilp: lc.ilp,
+                        host_seconds: 0.0,
+                    };
+                }
+                // Hand the launch to the persistent worker pool: warm
+                // threads (and their scratch arenas) pick blocks off a
+                // shared cursor, the caller parks on the job's completion
+                // condvar. This is the host-side analogue of a kernel
+                // launch: a fixed submission cost, no thread spawn/join.
+                let tracer_ref = match tracer {
+                    Some(t) => TracerRef::borrowed(t),
+                    None => TracerRef::None,
+                };
+                let job = Arc::new(LaunchJob::new(
+                    lc,
+                    self.cfg.clone(),
+                    order,
+                    Body::Borrowed(BorrowedBody::new(&body)),
+                    tracer_ref,
+                    None,
+                    false,
+                ));
+                self.pool().shared().run(job)
             }
-        }
-
-        KernelMetrics {
-            label: lc.label,
-            blocks: lc.blocks,
-            threads_per_block: lc.threads_per_block,
-            stats: acc.snapshot(),
-            critical_path: lc.critical_path,
-            ilp: lc.ilp,
-            host_seconds: start.elapsed().as_secs_f64(),
         }
     }
 }
@@ -544,5 +680,37 @@ mod tests {
             ctx.recycle(v);
         });
         assert_eq!(seen.to_vec()[1..], [16; 7]);
+
+        // Steady-state take/put must be allocation-free: recycling a
+        // buffer and taking the same size again hands back the *same*
+        // allocation (pointer identity), both within a block and from one
+        // block to the next — `ScratchArena` keeps one downcast-once
+        // `Vec<Vec<T>>` pool per element type, so no boxing or
+        // reallocation happens on the recycle path.
+        let ptrs = GlobalBuffer::<u64>::zeroed(8);
+        gpu.launch(LaunchConfig::new("scratch_identity", 8, 32), |ctx| {
+            let a = ctx.scratch::<u64>(48);
+            let pa = a.as_ptr() as u64;
+            ctx.recycle(a);
+            let b = ctx.scratch::<u64>(48);
+            assert_eq!(pa, b.as_ptr() as u64, "within-block recycle reuses the allocation");
+            ptrs.write(ctx, ctx.block_idx(), b.as_ptr() as u64);
+            ctx.recycle(b);
+        });
+        let p = ptrs.to_vec();
+        assert_eq!(p[1..], [p[0]; 7], "every block reused one warm buffer");
+
+        // `scratch_overwrite` draws from the same pool (same allocation),
+        // skipping only the zero-fill.
+        gpu.launch(LaunchConfig::new("scratch_overwrite", 1, 32), |ctx| {
+            let mut a = ctx.scratch::<u64>(32);
+            a.fill(7);
+            let pa = a.as_ptr() as u64;
+            ctx.recycle(a);
+            let b = ctx.scratch_overwrite::<u64>(32);
+            assert_eq!(pa, b.as_ptr() as u64);
+            assert!(b.iter().all(|&x| x == 7), "overwrite variant skips the zero-fill");
+            ctx.recycle(b);
+        });
     }
 }

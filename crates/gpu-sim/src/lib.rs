@@ -10,7 +10,10 @@
 //!
 //! * [`launch::Gpu::launch`] runs a grid of blocks under a scheduler the
 //!   program cannot control ([`launch::DispatchOrder`]), with real OS-thread
-//!   concurrency in [`launch::ExecMode::Concurrent`];
+//!   concurrency on a persistent worker pool in
+//!   [`launch::ExecMode::Concurrent`], and [`stream::Stream`] provides
+//!   CUDA-stream-style asynchronous, ordered launches that overlap across
+//!   streams;
 //! * [`global::GlobalBuffer`] is device DRAM: shared by all blocks,
 //!   accounted for coalesced vs. strided traffic;
 //! * [`shared::SharedTile`] is per-block shared memory with bank-conflict
@@ -47,10 +50,12 @@
 
 pub mod device;
 pub mod elem;
+mod executor;
 pub mod global;
 pub mod launch;
 pub mod metrics;
 pub mod shared;
+pub mod stream;
 pub mod sync;
 pub mod timing;
 pub mod trace;
@@ -64,6 +69,7 @@ pub mod prelude {
     pub use crate::launch::{BlockCtx, DispatchOrder, ExecMode, Gpu, LaunchConfig};
     pub use crate::metrics::{BlockStats, CriticalPath, KernelMetrics, RunMetrics};
     pub use crate::shared::{Arrangement, SharedTile};
+    pub use crate::stream::Stream;
     pub use crate::sync::{DeviceCounter, StatusBoard};
     pub use crate::timing::{kernel_time, overhead_percent, run_millis, run_seconds};
     pub use crate::trace::{Event, EventKind, Tracer};

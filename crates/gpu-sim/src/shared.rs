@@ -72,6 +72,18 @@ impl<T: DeviceElem> SharedTile<T> {
         Self::from_data(data, w, arrangement)
     }
 
+    /// Allocate like [`SharedTile::alloc_scratch`], but leave whatever the
+    /// recycled buffer last held in place instead of zero-filling it — the
+    /// CUDA shared-memory model, where a `__shared__` array starts with
+    /// undefined contents and kernels that need zeros must clear it
+    /// themselves. Only sound when every element is overwritten before it
+    /// is read, as in [`SharedTile::load_from_global`].
+    pub fn alloc_scratch_uninit(ctx: &mut BlockCtx, w: usize, arrangement: Arrangement) -> Self {
+        Self::check_capacity(ctx, w);
+        let data = ctx.scratch_overwrite::<T>(w * w);
+        Self::from_data(data, w, arrangement)
+    }
+
     /// Return the tile's backing store to the worker's scratch arena.
     pub fn release(self, ctx: &mut BlockCtx) {
         ctx.recycle(self.data);
@@ -308,7 +320,36 @@ impl<T: DeviceElem> SharedTile<T> {
         // One read of the previous element plus one read-modify-write of
         // the current element per step.
         Self::account(ctx, 2 * elems, self.col_conflict);
-        for row in self.data.chunks_exact_mut(self.w) {
+        Self::prefix_rows(&mut self.data, self.w);
+    }
+
+    /// Inclusive prefix sums of every `w`-wide row of `data`, four rows
+    /// interleaved so four independent add chains are in flight at once
+    /// (a serial prefix sum is latency-bound on one chain). The adds
+    /// within each row stay in scan order, so the result is bit-identical
+    /// to scanning one row at a time.
+    fn prefix_rows(data: &mut [T], w: usize) {
+        if w == 0 {
+            return;
+        }
+        let mut quads = data.chunks_exact_mut(4 * w);
+        for quad in &mut quads {
+            let (r0, rest) = quad.split_at_mut(w);
+            let (r1, rest) = rest.split_at_mut(w);
+            let (r2, r3) = rest.split_at_mut(w);
+            let (mut a0, mut a1, mut a2, mut a3) = (r0[0], r1[0], r2[0], r3[0]);
+            for j in 1..w {
+                a0 = a0.add(r0[j]);
+                r0[j] = a0;
+                a1 = a1.add(r1[j]);
+                r1[j] = a1;
+                a2 = a2.add(r2[j]);
+                r2[j] = a2;
+                a3 = a3.add(r3[j]);
+                r3[j] = a3;
+            }
+        }
+        for row in quads.into_remainder().chunks_exact_mut(w) {
             let mut acc = row[0];
             for v in &mut row[1..] {
                 acc = acc.add(*v);
@@ -344,20 +385,18 @@ impl<T: DeviceElem> SharedTile<T> {
         if w == 0 {
             return;
         }
-        let first = &mut self.data[..w];
-        let mut acc = first[0];
-        for v in &mut first[1..] {
-            acc = acc.add(*v);
-            *v = acc;
-        }
+        // Row scans first (independent chains, interleaved), then the
+        // column accumulation (no loop-carried dependence within a row, so
+        // it vectorizes). Each element sees its adds in the same order as
+        // [`SharedTile::scan_rows`] + [`SharedTile::scan_cols`], so the
+        // result is bit-identical to the unfused sequence for floats too.
+        Self::prefix_rows(&mut self.data, w);
         for i in 1..w {
             let (above, below) = self.data.split_at_mut(i * w);
             let prev = &above[(i - 1) * w..];
             let cur = &mut below[..w];
-            let mut run = T::zero();
             for (c, p) in cur.iter_mut().zip(prev) {
-                run = run.add(*c);
-                *c = run.add(*p);
+                *c = c.add(*p);
             }
         }
     }

@@ -1,0 +1,419 @@
+//! CUDA-stream-style asynchronous, ordered kernel launches.
+//!
+//! A [`Stream`] is created from a [`Gpu`](crate::launch::Gpu) via
+//! [`Gpu::stream`](crate::launch::Gpu::stream) and maps one-to-one onto a
+//! `cudaStream_t`: work enqueued on one stream executes in enqueue order
+//! (launch *k+1* starts only after launch *k* finished, like kernels on
+//! the same CUDA stream, which never overlap), while work on different
+//! streams overlaps freely on the shared persistent worker pool. This is
+//! what enables the batched SAT throughput pipeline: image *i+1*'s
+//! row-scan kernel runs while image *i*'s column-scan is still in flight,
+//! amortizing the per-launch host round-trip that a serial
+//! launch-sync-launch loop pays for every kernel.
+//!
+//! Ordering is cooperative, not preemptive: only the stream's head job is
+//! ever submitted to the pool; when its last block finishes, the completing
+//! worker submits the stream's next job. The pool therefore never has to
+//! know about streams, and in-stream ordering can never be violated by
+//! scheduling accidents.
+//!
+//! **Accounting is schedule-independent by construction.** A stream job
+//! charges counters through the same `BlockCtx` accumulators as any other
+//! launch; which OS thread runs a block, and what other streams run
+//! concurrently, never enters any counter. The scheduling-parity
+//! integration tests assert this across sequential, concurrent, and
+//! stream-pipelined execution.
+//!
+//! Error model: a panic inside a stream job aborts that job, cancels
+//! everything queued behind it on the same stream (as a CUDA error poisons
+//! subsequent stream operations), and is re-raised by the next
+//! [`Stream::sync`]. Dropping the last handle to a stream blocks until the
+//! stream drains (like `cudaStreamDestroy`); a pending panic is swallowed
+//! in that case, so call `sync` to observe failures.
+
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::device::DeviceConfig;
+use crate::executor::{Body, BorrowedBody, LaunchJob, PoolShared, TracerRef};
+use crate::launch::{BlockCtx, DispatchOrder, LaunchConfig};
+use crate::metrics::KernelMetrics;
+use crate::trace::Tracer;
+
+#[derive(Default)]
+struct StreamState {
+    /// Jobs waiting for the in-flight job to finish, in enqueue order.
+    queued: VecDeque<Arc<LaunchJob>>,
+    /// Whether the head job is currently on the pool.
+    in_flight: bool,
+    /// Metrics of completed asynchronous launches, in enqueue order.
+    finished: Vec<KernelMetrics>,
+    /// First panic raised by a job of this stream, re-raised by `sync`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// State shared between stream handles, their queued jobs, and the pool
+/// workers that complete them.
+pub(crate) struct StreamShared {
+    pool: Arc<PoolShared>,
+    state: Mutex<StreamState>,
+    idle: Condvar,
+}
+
+impl StreamShared {
+    /// Called by the worker that finishes a job's last block: record the
+    /// result and submit the stream's next queued job.
+    pub(crate) fn on_job_complete(&self, pool: &PoolShared, job: &LaunchJob) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight = false;
+        if job.panicked() {
+            if job.record_in_stream() {
+                if let Some(p) = job.take_panic() {
+                    if st.panic.is_none() {
+                        st.panic = Some(p);
+                    }
+                }
+            }
+            // A failed launch poisons the rest of the stream: cancel
+            // everything queued behind it.
+            for dropped in st.queued.drain(..) {
+                dropped.finish_cancelled(
+                    "stream cancelled: an earlier launch in this stream panicked",
+                );
+            }
+            drop(st);
+            self.idle.notify_all();
+            return;
+        }
+        if job.record_in_stream() {
+            st.finished.push(job.metrics());
+        }
+        while let Some(next) = st.queued.pop_front() {
+            if next.blocks() == 0 {
+                if next.record_in_stream() {
+                    st.finished.push(next.metrics());
+                }
+                next.finish_empty();
+                continue;
+            }
+            st.in_flight = true;
+            drop(st);
+            pool.submit(next);
+            return;
+        }
+        drop(st);
+        self.idle.notify_all();
+    }
+}
+
+/// An asynchronous launch queue bound to a [`Gpu`](crate::launch::Gpu)'s
+/// worker pool; see the [module docs](self) for the execution model.
+///
+/// Clones share the same underlying stream.
+#[derive(Clone)]
+pub struct Stream {
+    shared: Arc<StreamShared>,
+    cfg: DeviceConfig,
+    dispatch: DispatchOrder,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl std::fmt::Debug for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock().unwrap();
+        f.debug_struct("Stream")
+            .field("in_flight", &st.in_flight)
+            .field("queued", &st.queued.len())
+            .field("finished", &st.finished.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Stream {
+    pub(crate) fn new(
+        pool: Arc<PoolShared>,
+        cfg: DeviceConfig,
+        dispatch: DispatchOrder,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
+        Stream {
+            shared: Arc::new(StreamShared {
+                pool,
+                state: Mutex::new(StreamState::default()),
+                idle: Condvar::new(),
+            }),
+            cfg,
+            dispatch,
+            tracer,
+        }
+    }
+
+    fn make_job(
+        &self,
+        lc: LaunchConfig,
+        body: Body,
+        tracer: TracerRef,
+        record_in_stream: bool,
+    ) -> Arc<LaunchJob> {
+        assert!(
+            lc.threads_per_block <= self.cfg.max_threads_per_block,
+            "{} threads per block exceeds the device maximum {}",
+            lc.threads_per_block,
+            self.cfg.max_threads_per_block
+        );
+        let order = match self.dispatch {
+            DispatchOrder::InOrder => Vec::new(),
+            d => d.permutation(lc.blocks),
+        };
+        Arc::new(LaunchJob::new(
+            lc,
+            self.cfg.clone(),
+            order,
+            body,
+            tracer,
+            Some(Arc::downgrade(&self.shared)),
+            record_in_stream,
+        ))
+    }
+
+    /// Stream-ordered submission: submit now if the stream is idle, queue
+    /// behind the in-flight job otherwise.
+    fn push(&self, job: Arc<LaunchJob>) {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.panic.is_some() {
+            // Stream is poisoned until `sync` reports the panic; the job
+            // never runs (CUDA errors poison subsequent stream ops too).
+            drop(st);
+            job.finish_cancelled("stream cancelled: an earlier launch in this stream panicked");
+            return;
+        }
+        if !st.in_flight && st.queued.is_empty() {
+            if job.blocks() == 0 {
+                if job.record_in_stream() {
+                    st.finished.push(job.metrics());
+                }
+                drop(st);
+                job.finish_empty();
+            } else {
+                st.in_flight = true;
+                drop(st);
+                self.shared.pool.submit(job);
+            }
+        } else {
+            st.queued.push_back(job);
+        }
+    }
+
+    /// Enqueue an asynchronous launch (CUDA `kernel<<<..., stream>>>`).
+    ///
+    /// Returns immediately; the kernel runs on the worker pool after every
+    /// launch previously enqueued on this stream has finished. The body
+    /// must be `'static` because it outlives the call — capture device
+    /// buffers via `Arc`, exactly as device memory must stay allocated
+    /// until a CUDA stream is synchronized. Metrics are collected by the
+    /// next [`Stream::sync`], which also re-raises any panic.
+    pub fn enqueue<F>(&self, lc: LaunchConfig, body: F)
+    where
+        F: Fn(&mut BlockCtx) + Send + Sync + 'static,
+    {
+        let tracer = match &self.tracer {
+            Some(t) => TracerRef::Shared(Arc::clone(t)),
+            None => TracerRef::None,
+        };
+        let job = self.make_job(lc, Body::Owned(Box::new(body)), tracer, true);
+        self.push(job);
+    }
+
+    /// A blocking launch ordered after everything already enqueued on this
+    /// stream; used by [`Gpu::bind_stream`](crate::launch::Gpu::bind_stream)
+    /// so unmodified algorithms can run stream-ordered.
+    pub(crate) fn launch_blocking(
+        &self,
+        lc: LaunchConfig,
+        tracer: Option<&Tracer>,
+        body: &(dyn Fn(&mut BlockCtx) + Sync),
+    ) -> KernelMetrics {
+        let tracer = match (tracer, &self.tracer) {
+            (Some(t), _) => TracerRef::borrowed(t),
+            (None, Some(t)) => TracerRef::Shared(Arc::clone(t)),
+            (None, None) => TracerRef::None,
+        };
+        let job = self.make_job(lc, Body::Borrowed(BorrowedBody::new(body)), tracer, false);
+        self.push(Arc::clone(&job));
+        job.wait()
+    }
+
+    /// Block until every launch enqueued on this stream has finished
+    /// (CUDA `cudaStreamSynchronize`), then return the metrics of the
+    /// asynchronous launches in enqueue order. Re-raises the first panic
+    /// of any failed launch.
+    pub fn sync(&self) -> Vec<KernelMetrics> {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.in_flight || !st.queued.is_empty() {
+            st = self.shared.idle.wait(st).unwrap();
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+        st.finished.drain(..).collect()
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        // Only the last handle drains the stream (clones share it), and a
+        // thread already panicking must not block on in-flight work it may
+        // itself have poisoned.
+        if Arc::strong_count(&self.shared) > 1 || std::thread::panicking() {
+            return;
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        while st.in_flight || !st.queued.is_empty() {
+            st = self.shared.idle.wait(st).unwrap();
+        }
+        // A pending panic is swallowed here by design; `sync` observes it.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::device::DeviceConfig;
+    use crate::global::GlobalBuffer;
+    use crate::launch::{ExecMode, Gpu, LaunchConfig};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent)
+    }
+
+    #[test]
+    fn in_stream_launches_execute_in_enqueue_order() {
+        // Each launch appends its digit: any reordering of the three
+        // kernels produces a different number.
+        let g = gpu();
+        let s = g.stream();
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        for digit in 1..=3u64 {
+            let cell = Arc::clone(&cell);
+            s.enqueue(LaunchConfig::new(format!("k{digit}"), 1, 32), move |ctx| {
+                let v = cell.read(ctx, 0);
+                cell.write(ctx, 0, v * 10 + digit);
+            });
+        }
+        let metrics = s.sync();
+        assert_eq!(cell.host_read(0), 123);
+        let labels: Vec<_> = metrics.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, ["k1", "k2", "k3"], "metrics come back in enqueue order");
+    }
+
+    #[test]
+    fn streams_share_one_pool_and_interleave_submission() {
+        // Two streams, each with an ordered chain; both chains complete
+        // and each stream's own order holds regardless of interleaving.
+        let g = gpu();
+        let (s1, s2) = (g.stream(), g.stream());
+        let c1 = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        let c2 = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        for digit in 1..=4u64 {
+            let (a, b) = (Arc::clone(&c1), Arc::clone(&c2));
+            s1.enqueue(LaunchConfig::new("a", 1, 32), move |ctx| {
+                let v = a.read(ctx, 0);
+                a.write(ctx, 0, v * 10 + digit);
+            });
+            s2.enqueue(LaunchConfig::new("b", 2, 32), move |ctx| {
+                if ctx.block_idx() == 0 {
+                    let v = b.read(ctx, 0);
+                    b.write(ctx, 0, v * 10 + digit);
+                }
+            });
+        }
+        assert_eq!(s1.sync().len(), 4);
+        assert_eq!(s2.sync().len(), 4);
+        assert_eq!(c1.host_read(0), 1234);
+        assert_eq!(c2.host_read(0), 1234);
+    }
+
+    #[test]
+    fn zero_block_launch_completes_inline() {
+        let g = gpu();
+        let s = g.stream();
+        s.enqueue(LaunchConfig::new("empty", 0, 32), |_ctx| unreachable!());
+        let metrics = s.sync();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].blocks, 0);
+    }
+
+    #[test]
+    fn panic_cancels_queued_work_and_sync_reraises() {
+        let g = gpu();
+        let s = g.stream();
+        let ran_after = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        s.enqueue(LaunchConfig::new("boom", 1, 32), |_ctx| panic!("kernel fault"));
+        {
+            let ran_after = Arc::clone(&ran_after);
+            s.enqueue(LaunchConfig::new("after", 1, 32), move |ctx| {
+                ran_after.write(ctx, 0, 1);
+            });
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| s.sync())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "kernel fault", "sync re-raises the kernel's own panic");
+        assert_eq!(ran_after.host_read(0), 0, "work behind the fault never ran");
+
+        // The panic is reported once; the stream is usable again after.
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        {
+            let cell = Arc::clone(&cell);
+            s.enqueue(LaunchConfig::new("retry", 1, 32), move |ctx| cell.write(ctx, 0, 7));
+        }
+        assert_eq!(s.sync().len(), 1);
+        assert_eq!(cell.host_read(0), 7);
+    }
+
+    #[test]
+    fn bound_gpu_routes_blocking_launches_through_the_stream() {
+        // A blocking launch on a bound Gpu is ordered after async work
+        // already enqueued on the same stream.
+        let g = gpu();
+        let s = g.stream();
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        {
+            let cell = Arc::clone(&cell);
+            s.enqueue(LaunchConfig::new("async", 1, 32), move |ctx| {
+                let v = cell.read(ctx, 0);
+                cell.write(ctx, 0, v * 10 + 1);
+            });
+        }
+        let bound = g.bind_stream(&s);
+        let m = bound.launch(LaunchConfig::new("blocking", 1, 32), |ctx| {
+            let v = cell.read(ctx, 0);
+            cell.write(ctx, 0, v * 10 + 2);
+        });
+        assert_eq!(cell.host_read(0), 12, "blocking launch saw the async write");
+        assert_eq!(m.blocks, 1);
+        // Blocking launches report to their caller, not to sync().
+        assert_eq!(s.sync().len(), 1);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_drains_the_stream() {
+        let g = gpu();
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        {
+            let s = g.stream();
+            let clone = s.clone();
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                s.enqueue(LaunchConfig::new("work", 1, 32), move |ctx| {
+                    let v = cell.read(ctx, 0);
+                    cell.write(ctx, 0, v + 1);
+                });
+            }
+            drop(clone); // non-last handle must not block or double-drain
+        }
+        assert_eq!(cell.host_read(0), 3, "drop synchronized the stream");
+    }
+}

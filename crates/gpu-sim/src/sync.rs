@@ -28,11 +28,6 @@ use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use crate::launch::BlockCtx;
 use crate::trace::EventKind;
 
-/// Spin iterations after which a concurrent wait panics. A correct SAT
-/// algorithm on matrices of any size we run completes each wait within a
-/// few thousand polls; a billion spins means a lost producer.
-const DEADLOCK_LIMIT: u64 = 1_000_000_000;
-
 /// A global-memory counter for `atomicAdd`-based virtual block IDs
 /// (paper Sections III-C and IV).
 #[derive(Debug, Default)]
@@ -123,6 +118,7 @@ impl StatusBoard {
     /// failures instead of hangs.
     pub fn wait_at_least(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
         ctx.stats.flag_waits += 1;
+        let limit = ctx.config().deadlock_limit;
         let mut iters: u64 = 0;
         loop {
             iters += 1;
@@ -140,17 +136,31 @@ impl StatusBoard {
                     ctx.block_idx()
                 );
             }
-            if iters >= DEADLOCK_LIMIT {
+            if iters >= limit {
                 panic!(
-                    "soft-sync deadlock: block {} spun {iters} times on flag[{i}] >= {min}",
+                    "soft-sync deadlock: block {} spun {iters} times on flag[{i}] >= {min} \
+                     (DeviceConfig::deadlock_limit = {limit})",
                     ctx.block_idx()
                 );
             }
-            // Let the producer's OS thread run; essential on few-core hosts.
-            if iters.is_multiple_of(16) {
+            if iters.is_multiple_of(256) && ctx.abort_requested() {
+                panic!(
+                    "soft-sync wait aborted: block {} was waiting on flag[{i}] >= {min} \
+                     when another block of the launch panicked",
+                    ctx.block_idx()
+                );
+            }
+            // Adaptive backoff: a satisfied-soon wait stays on the core
+            // (spin hint), a longer one hands its timeslice to the
+            // producer it waits on (yield — essential on few-core hosts),
+            // and a stuck one stops burning a core entirely (sleep), so
+            // pipelined waiters never starve the streams doing real work.
+            if iters < 64 {
+                std::hint::spin_loop();
+            } else if iters < 4096 {
                 std::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                std::thread::sleep(std::time::Duration::from_micros(20));
             }
         }
     }
@@ -282,6 +292,39 @@ mod tests {
         gpu.launch(LaunchConfig::new("mono-violation", 1, 32), |ctx| {
             board.publish(ctx, 0, 3);
             board.publish(ctx, 0, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "soft-sync deadlock")]
+    fn concurrent_wait_with_no_producer_hits_the_deadlock_limit() {
+        // Nothing ever publishes the flag; the configurable limit turns
+        // what used to be a billion-iteration spin into a fast failure.
+        let mut cfg = DeviceConfig::tiny();
+        cfg.deadlock_limit = 5_000;
+        let gpu = Gpu::new(cfg).with_mode(ExecMode::Concurrent);
+        let board = StatusBoard::new(1);
+        gpu.launch(LaunchConfig::new("stuck", 1, 32), |ctx| {
+            board.wait_at_least(ctx, 0, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn waiter_on_panicked_producer_fails_fast() {
+        // The first-executed block takes virtual id 0 and dies before
+        // publishing; any block already waiting must observe the launch
+        // abort instead of spinning to the deadlock limit, and the
+        // *original* panic is the one the host sees.
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let counter = DeviceCounter::new();
+        let board = StatusBoard::new(1);
+        gpu.launch(LaunchConfig::new("dead-producer", 2, 32), |ctx| {
+            let vid = counter.next(ctx);
+            if vid == 0 {
+                panic!("boom");
+            }
+            board.wait_at_least(ctx, 0, 1);
         });
     }
 

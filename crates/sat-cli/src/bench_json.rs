@@ -11,6 +11,12 @@
 //! `--baseline FILE` folds a previously recorded document in: each result
 //! gains `baseline_secs`/`speedup`, and any counter drift against the
 //! baseline is reported (and reflected in `counters_match`).
+//!
+//! `--throughput` appends a batched-SAT measurement: the same 2R1W batch
+//! run once with blocking per-kernel launches and once pipelined over
+//! rotating streams ([`satcore::batch`]), reporting images/s for both and
+//! checking that the two strategies charge identical deterministic
+//! counters (folded into `all_counters_match`).
 
 use gpu_sim::launch::ExecMode;
 use gpu_sim::prelude::*;
@@ -49,6 +55,18 @@ pub struct Config {
     pub baseline: Option<String>,
     /// Output path; `None` prints to stdout.
     pub out: Option<String>,
+    /// Also run the batched throughput pipeline (serial vs streamed).
+    pub throughput: bool,
+    /// Throughput mode: number of images per batch.
+    pub batch: usize,
+    /// Throughput mode: image side length. The default is one tile: the
+    /// pipeline exists for the launch-overhead-dominated regime (many
+    /// small kernels), where a serial loop leaves the device idle between
+    /// launches; at large `n` the per-image work amortizes the overhead
+    /// and both strategies converge.
+    pub batch_n: usize,
+    /// Throughput mode: number of streams to pipeline over.
+    pub streams: usize,
 }
 
 impl Default for Config {
@@ -61,6 +79,10 @@ impl Default for Config {
             algs: Vec::new(),
             baseline: None,
             out: None,
+            throughput: false,
+            batch: 256,
+            batch_n: 32,
+            streams: 4,
         }
     }
 }
@@ -170,6 +192,87 @@ fn render_entry(e: &Entry) -> String {
     s
 }
 
+/// Result of the batched throughput measurement.
+struct Throughput {
+    images: usize,
+    n: usize,
+    streams: usize,
+    serial_secs: f64,
+    streamed_secs: f64,
+    counters_match: bool,
+}
+
+/// Measure the batched SAT pipeline: serial blocking launches vs
+/// stream-pipelined enqueues over the same images, in concurrent mode
+/// (streams cannot overlap under sequential execution). Correctness is
+/// checked against the reference SAT, counters between the two
+/// strategies against each other.
+fn run_throughput(cfg: &Config, device: &DeviceConfig) -> Throughput {
+    let gpu = Gpu::new(device.clone()).with_mode(ExecMode::Concurrent);
+    let params = SatParams::paper(cfg.w);
+    let n = cfg.batch_n.max(cfg.w);
+    let mats: Vec<Matrix<u32>> =
+        (0..cfg.batch.max(1)).map(|i| Matrix::random(n, n, 0xBA7C4 + i as u64, 4)).collect();
+    let images: Vec<BatchImage<u32>> =
+        mats.iter().map(|m| BatchImage::from_host(m.as_slice(), n)).collect();
+
+    // Warmup runs double as the counter measurement and correctness check.
+    let serial_report = sat_batch_serial(&gpu, params, &images);
+    for (m, img) in mats.iter().zip(&images) {
+        assert_eq!(
+            &Matrix::from_device(&img.output, n, n),
+            &satcore::reference::sat(m),
+            "serial batch produced a wrong SAT at n={n}"
+        );
+        img.output.host_fill(0);
+    }
+    let streamed_report = sat_batch_streamed(&gpu, params, &images, cfg.streams);
+    for (m, img) in mats.iter().zip(&images) {
+        assert_eq!(
+            &Matrix::from_device(&img.output, n, n),
+            &satcore::reference::sat(m),
+            "streamed batch produced a wrong SAT at n={n}"
+        );
+    }
+    let counters_match = serial_report.deterministic() == streamed_report.deterministic();
+    if !counters_match {
+        eprintln!(
+            "throughput counter drift: serial {:?} vs streamed {:?}",
+            serial_report.deterministic(),
+            streamed_report.deterministic()
+        );
+    }
+
+    let mut serial_secs = f64::INFINITY;
+    let mut streamed_secs = f64::INFINITY;
+    for _ in 0..cfg.reps.max(1) {
+        let t0 = Instant::now();
+        sat_batch_serial(&gpu, params, &images);
+        serial_secs = serial_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        sat_batch_streamed(&gpu, params, &images, cfg.streams);
+        streamed_secs = streamed_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let tp = Throughput {
+        images: images.len(),
+        n,
+        streams: cfg.streams,
+        serial_secs,
+        streamed_secs,
+        counters_match,
+    };
+    eprintln!(
+        "throughput {} images n={} serial {:>8.2} img/s  streamed({} streams) {:>8.2} img/s  ({:.2}x)",
+        tp.images,
+        tp.n,
+        tp.images as f64 / tp.serial_secs,
+        tp.streams,
+        tp.images as f64 / tp.streamed_secs,
+        tp.serial_secs / tp.streamed_secs,
+    );
+    tp
+}
+
 /// Run the sweep and return the JSON document.
 pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     let baseline_doc = cfg.baseline.as_ref().map(|p| {
@@ -269,6 +372,11 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
         }
     }
 
+    let throughput = cfg.throughput.then(|| run_throughput(cfg, device));
+    if let Some(tp) = &throughput {
+        all_counters_match &= tp.counters_match;
+    }
+
     let mut doc = String::new();
     doc.push_str("{\n");
     doc.push_str("\"schema\":\"sat-bench/1\",\n");
@@ -276,8 +384,25 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     doc.push_str(&format!("\"host_workers\":{},\n", device.host_workers));
     doc.push_str(&format!("\"tile_width\":{},\n", cfg.w));
     doc.push_str(&format!("\"reps\":{},\n", cfg.reps));
-    if baseline_doc.is_some() {
+    if baseline_doc.is_some() || throughput.is_some() {
         doc.push_str(&format!("\"all_counters_match\":{all_counters_match},\n"));
+    }
+    if let Some(tp) = &throughput {
+        doc.push_str(&format!(
+            "\"throughput\":{{\"images\":{},\"n\":{},\"streams\":{},\
+             \"serial_secs\":{:.6},\"streamed_secs\":{:.6},\
+             \"serial_images_s\":{:.3},\"streamed_images_s\":{:.3},\
+             \"speedup\":{:.2},\"counters_match\":{}}},\n",
+            tp.images,
+            tp.n,
+            tp.streams,
+            tp.serial_secs,
+            tp.streamed_secs,
+            tp.images as f64 / tp.serial_secs,
+            tp.images as f64 / tp.streamed_secs,
+            tp.serial_secs / tp.streamed_secs,
+            tp.counters_match,
+        ));
     }
     doc.push_str("\"results\":[\n");
     for (k, e) in entries.iter().enumerate() {
@@ -303,8 +428,7 @@ mod tests {
             reps: 1,
             modes: vec!["sequential".into()],
             algs: vec!["skss_lb".into(), "duplication".into()],
-            baseline: None,
-            out: None,
+            ..Config::default()
         };
         let doc = run(&cfg, &DeviceConfig::tiny());
         assert!(doc.contains("\"schema\":\"sat-bench/1\""));
@@ -323,8 +447,7 @@ mod tests {
             reps: 1,
             modes: vec!["sequential".into()],
             algs: vec!["duplication".into()],
-            baseline: None,
-            out: None,
+            ..Config::default()
         };
         let doc = run(&cfg, &DeviceConfig::tiny());
         let path = std::env::temp_dir().join("sat_bench_json_test_baseline.json");
@@ -335,6 +458,27 @@ mod tests {
         assert!(doc2.contains("\"counters_match\":true"));
         assert!(doc2.contains("\"speedup\":"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn throughput_mode_reports_batch_pipeline() {
+        let cfg = Config {
+            sizes: Vec::new(),
+            w: 8,
+            reps: 1,
+            modes: Vec::new(),
+            algs: vec!["nothing-matches-this".into()],
+            baseline: None,
+            out: None,
+            throughput: true,
+            batch: 3,
+            batch_n: 16,
+            streams: 2,
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        assert!(doc.contains("\"throughput\":{\"images\":3,\"n\":16,\"streams\":2,"));
+        assert!(doc.contains("\"counters_match\":true"));
+        assert!(doc.contains("\"all_counters_match\":true"));
     }
 
     #[test]

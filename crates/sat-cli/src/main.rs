@@ -74,7 +74,8 @@ fn usage() -> &'static str {
        bench-json wall-clock perf sweep emitted as JSON (BENCH_*.json)\n\
                   options: --sizes a,b,c (default 1024,2048,4096), --w W,\n\
                            --reps R (default 3), --modes sequential,concurrent,\n\
-                           --algs substr,substr, --baseline FILE, --out FILE\n\
+                           --algs substr,substr, --baseline FILE, --out FILE,\n\
+                           --throughput [--batch N --batch-n SIDE --streams S]\n\
        all        every report above, in order"
 }
 
@@ -135,6 +136,10 @@ fn main() -> ExitCode {
                 }),
                 baseline: parse_opt(&args, "--baseline"),
                 out: parse_opt(&args, "--out"),
+                throughput: parse_flag(&args, "--throughput"),
+                batch: parse_usize(&args, "--batch", defaults.batch),
+                batch_n: parse_usize(&args, "--batch-n", defaults.batch_n),
+                streams: parse_usize(&args, "--streams", defaults.streams),
             };
             let doc = bench_json::run(&bcfg, gpu.config());
             match &bcfg.out {

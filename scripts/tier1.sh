@@ -12,3 +12,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test --workspace -q
 cargo clippy --all-targets --workspace -- -D warnings
+
+# Counter-drift smoke: a quick filtered bench-json run against the
+# committed baseline. Any accounting drift (or serial-vs-streamed
+# divergence in the batch pipeline) makes bench-json exit nonzero via
+# all_counters_match:false, failing tier-1 without running the full sweep.
+./target/release/sat-cli bench-json --algs skss_lb,2r1w --sizes 1024 --reps 1 \
+  --baseline BENCH_1.json --throughput --batch 16 --batch-n 32 --out /dev/null
