@@ -15,6 +15,13 @@
 //!   always has the next kernel queued, so image *i+1*'s local-sums kernel
 //!   starts the moment image *i*'s column-scan retires — the pipelining a
 //!   CUDA server gets from `cudaLaunchKernel` on rotating streams.
+//! * [`sat_batch_multi_device`] — images sharded across the devices of a
+//!   [`DeviceGroup`] with work stealing. Each image's three kernels run
+//!   unchanged on whichever device the scheduler lands the image on
+//!   (images never split across devices — the k1 → k2 → k3 chain stays
+//!   device-local, so no cross-device synchronization is ever needed),
+//!   and the group reports a per-device [`GroupMetrics`] breakdown on top
+//!   of the usual [`BatchReport`].
 //!
 //! Both strategies charge identical deterministic counters: the counters
 //! are per-block quantities accumulated by the kernels themselves, and
@@ -27,8 +34,9 @@ use std::sync::Arc;
 
 use gpu_sim::elem::DeviceElem;
 use gpu_sim::global::GlobalBuffer;
+use gpu_sim::group::{DeviceGroup, GroupMetrics, StealPolicy};
 use gpu_sim::launch::Gpu;
-use gpu_sim::metrics::BlockStats;
+use gpu_sim::metrics::{BlockStats, RunMetrics};
 
 use crate::alg::two_r_one_w::{k1_local_sums, k2_global_sums, k3_gsat, launch_plan, TwoROneWAux};
 use crate::alg::SatParams;
@@ -137,6 +145,48 @@ pub fn sat_batch_streamed<T: DeviceElem>(
     BatchReport { images: images.len(), kernels, stats }
 }
 
+/// Run 2R1W over every image, sharded across the devices of `group` with
+/// work stealing ([`StealPolicy::StealOnIdle`]).
+///
+/// Whole images are the unit of scheduling: each image's k1 → k2 → k3
+/// chain runs as three blocking launches on one device, so the only
+/// cross-device interaction is the host handing out jobs. Returns the
+/// usual [`BatchReport`] (totals are bit-identical to [`sat_batch_serial`]
+/// on the deterministic subset, for any device count and steal schedule)
+/// plus the group's per-device [`GroupMetrics`].
+pub fn sat_batch_multi_device<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    images: &[BatchImage<T>],
+) -> (BatchReport, GroupMetrics) {
+    sat_batch_multi_device_policy(group, params, images, StealPolicy::StealOnIdle)
+}
+
+/// [`sat_batch_multi_device`] under an explicit [`StealPolicy`];
+/// [`StealPolicy::Disabled`] is the static-shard baseline the skewed-load
+/// tests and benches compare stealing against.
+pub fn sat_batch_multi_device_policy<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    images: &[BatchImage<T>],
+    policy: StealPolicy,
+) -> (BatchReport, GroupMetrics) {
+    let jobs: Vec<&BatchImage<T>> = images.iter().collect();
+    let gm = group.run_batch_policy(jobs, policy, |gpu, img| {
+        let grid = TileGrid::new(img.n, params.w);
+        let aux = TwoROneWAux::<T>::new(grid);
+        let [lc1, lc2, lc3] = launch_plan(grid, tpb(gpu, params));
+        let mut rm = RunMetrics::default();
+        rm.push(gpu.launch(lc1, |ctx| k1_local_sums(ctx, &*img.input, &aux)));
+        rm.push(gpu.launch(lc2, |ctx| k2_global_sums(ctx, &aux)));
+        rm.push(gpu.launch(lc3, |ctx| k3_gsat(ctx, &*img.input, &*img.output, &aux)));
+        rm
+    });
+    let report =
+        BatchReport { images: images.len(), kernels: gm.kernel_calls(), stats: gm.total_stats() };
+    (report, gm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +244,33 @@ mod tests {
         let report = sat_batch_streamed(&gpu, params, &imgs, 1);
         assert_eq!(report.kernels, 9);
         check_outputs(&mats, &imgs, 8);
+    }
+
+    #[test]
+    fn multi_device_batch_matches_reference_and_serial_counters() {
+        let params = SatParams { w: 8, threads_per_block: 64 };
+        let (mats, imgs) = batch(9, 16, 77);
+        let serial = sat_batch_serial(&Gpu::new(DeviceConfig::tiny()), params, &imgs);
+        for devices in [1, 2, 4] {
+            for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                for img in &imgs {
+                    img.output.host_fill(0);
+                }
+                let group = DeviceGroup::new(DeviceConfig::tiny(), devices);
+                let (report, gm) = sat_batch_multi_device_policy(&group, params, &imgs, policy);
+                check_outputs(&mats, &imgs, 16);
+                assert_eq!(report.images, 9);
+                assert_eq!(report.kernels, serial.kernels, "{devices} devices, {policy:?}");
+                assert_eq!(
+                    report.deterministic(),
+                    serial.deterministic(),
+                    "{devices} devices, {policy:?}"
+                );
+                assert_eq!(gm.lanes.len(), devices);
+                assert_eq!(gm.total_jobs(), 9);
+                assert_eq!(gm.deterministic(), report.deterministic());
+            }
+        }
     }
 
     #[test]

@@ -175,6 +175,17 @@ impl DeviceConfig {
         }
     }
 
+    /// The configuration each member of a `devices`-wide
+    /// [`DeviceGroup`](crate::group::DeviceGroup) runs with: identical
+    /// simulated hardware, but `host_workers` divided across the members
+    /// (minimum 2 each) so an N-device group does not oversubscribe the
+    /// host with N full worker pools. The *modeled* device is unchanged —
+    /// timing-model outputs never depend on host worker counts.
+    pub fn for_group_member(&self, devices: usize) -> Self {
+        let devices = devices.max(1);
+        DeviceConfig { host_workers: (self.host_workers / devices).max(2), ..self.clone() }
+    }
+
     /// Maximum number of threads resident on the whole device at once.
     pub fn max_resident_threads(&self) -> usize {
         self.sm_count * self.max_threads_per_sm

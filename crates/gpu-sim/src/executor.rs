@@ -361,7 +361,12 @@ impl WorkerPool {
     /// throughput — the simulation is CPU-bound — but oversubscription
     /// makes soft-sync spin loops fight the producers they wait on for the
     /// same cores, so cap at the host's real parallelism.
-    pub(crate) fn new(cfg: &DeviceConfig) -> Self {
+    ///
+    /// `ordinal` is the owning device's position in its
+    /// [`DeviceGroup`](crate::group::DeviceGroup) (0 for standalone GPUs);
+    /// it only flavors thread names so stack traces and profilers can tell
+    /// the devices of a group apart.
+    pub(crate) fn new(cfg: &DeviceConfig, ordinal: usize) -> Self {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let workers = cfg.host_workers.max(1).min(cores);
         let shared = Arc::new(PoolShared { queue: Mutex::new(QueueState::default()), ready: Condvar::new() });
@@ -369,7 +374,7 @@ impl WorkerPool {
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("gpu-sim-worker-{k}"))
+                    .name(format!("gpu-sim-d{ordinal}-w{k}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn gpu-sim pool worker")
             })

@@ -343,6 +343,9 @@ pub struct Gpu {
     tracer: Option<Arc<Tracer>>,
     engine: Arc<Engine>,
     bound: Option<Stream>,
+    /// Position within an owning [`DeviceGroup`](crate::group::DeviceGroup)
+    /// (0 for standalone devices); flavors worker-thread names only.
+    ordinal: usize,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -365,7 +368,23 @@ impl Gpu {
             tracer: None,
             engine: Arc::new(Engine::default()),
             bound: None,
+            ordinal: 0,
         }
+    }
+
+    /// Tag this GPU with its position in a multi-device group (builder
+    /// style). Purely cosmetic for a standalone device: the ordinal shows
+    /// up in worker-thread names (`gpu-sim-d{ordinal}-w{k}`) so the
+    /// devices of a [`DeviceGroup`](crate::group::DeviceGroup) are
+    /// distinguishable in stack traces and profilers.
+    pub fn with_ordinal(mut self, ordinal: usize) -> Self {
+        self.ordinal = ordinal;
+        self
+    }
+
+    /// The device's position in its group (0 for standalone devices).
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
     }
 
     /// Attach a tracer that records every launch made through this handle
@@ -405,17 +424,21 @@ impl Gpu {
 
     /// The shared worker pool, started on first use.
     fn pool(&self) -> &WorkerPool {
-        self.engine.pool.get_or_init(|| WorkerPool::new(&self.cfg))
+        self.engine.pool.get_or_init(|| WorkerPool::new(&self.cfg, self.ordinal))
     }
 
     /// Open an asynchronous stream on this GPU (CUDA `cudaStreamCreate`).
     ///
     /// Launches enqueued on one stream execute in order; launches on
     /// different streams overlap on the shared worker pool. The stream
-    /// inherits this handle's device, dispatch order, and tracer.
+    /// inherits this handle's device, dispatch order, and tracer, and
+    /// keeps the device's engine (and so its worker threads) alive even
+    /// if every `Gpu` handle is dropped first — a stream must stay usable
+    /// until it is synchronized, like device memory under CUDA.
     pub fn stream(&self) -> Stream {
         Stream::new(
             Arc::clone(self.pool().shared()),
+            Arc::clone(&self.engine),
             self.cfg.clone(),
             self.dispatch,
             self.tracer.clone(),
@@ -464,15 +487,19 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
+        // A bound handle delegates validation to the stream, which checks
+        // against the device that will actually execute the launch — the
+        // stream's, not this handle's. They differ when a handle is bound
+        // across the heterogeneous devices of a group.
+        if let Some(stream) = &self.bound {
+            return stream.launch_blocking(lc, tracer, &body);
+        }
         assert!(
             lc.threads_per_block <= self.cfg.max_threads_per_block,
             "{} threads per block exceeds the device maximum {}",
             lc.threads_per_block,
             self.cfg.max_threads_per_block
         );
-        if let Some(stream) = &self.bound {
-            return stream.launch_blocking(lc, tracer, &body);
-        }
         // `InOrder` keeps an empty permutation: dispatch position == block
         // index, no allocation per launch.
         let order = match self.dispatch {

@@ -13,7 +13,8 @@
 //!   concurrency on a persistent worker pool in
 //!   [`launch::ExecMode::Concurrent`], and [`stream::Stream`] provides
 //!   CUDA-stream-style asynchronous, ordered launches that overlap across
-//!   streams;
+//!   streams, while [`group::DeviceGroup`] scales out to N independent
+//!   devices with a work-stealing batch scheduler;
 //! * [`global::GlobalBuffer`] is device DRAM: shared by all blocks,
 //!   accounted for coalesced vs. strided traffic;
 //! * [`shared::SharedTile`] is per-block shared memory with bank-conflict
@@ -52,6 +53,7 @@ pub mod device;
 pub mod elem;
 mod executor;
 pub mod global;
+pub mod group;
 pub mod launch;
 pub mod metrics;
 pub mod shared;
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::device::{DeviceConfig, WARP};
     pub use crate::elem::DeviceElem;
     pub use crate::global::GlobalBuffer;
+    pub use crate::group::{DeviceGroup, DeviceLane, GroupMetrics, StealPolicy};
     pub use crate::launch::{BlockCtx, DispatchOrder, ExecMode, Gpu, LaunchConfig};
     pub use crate::metrics::{BlockStats, CriticalPath, KernelMetrics, RunMetrics};
     pub use crate::shared::{Arrangement, SharedTile};

@@ -48,6 +48,13 @@ pub struct BlockStats {
     /// Spin-loop iterations spent inside flag waits. Schedule-dependent;
     /// excluded from equality comparisons of deterministic counters.
     pub flag_poll_iterations: u64,
+    /// Backoff escalations inside flag waits: one per phase transition
+    /// (hot spin -> exponential backoff -> yield -> sleep) performed by
+    /// [`crate::sync::StatusBoard::wait_at_least`]. Schedule-dependent
+    /// like `flag_poll_iterations`, and excluded from `deterministic()`
+    /// for the same reason: how long a wait spins depends on when the
+    /// producer was scheduled, not on what the algorithm did.
+    pub flag_backoff_events: u64,
     /// Status-flag publications.
     pub flag_publishes: u64,
     /// `__syncthreads()` barriers executed by the block.
@@ -70,6 +77,7 @@ impl BlockStats {
         self.atomic_ops += other.atomic_ops;
         self.flag_waits += other.flag_waits;
         self.flag_poll_iterations += other.flag_poll_iterations;
+        self.flag_backoff_events += other.flag_backoff_events;
         self.flag_publishes += other.flag_publishes;
         self.barriers += other.barriers;
         self.warp_shuffles += other.warp_shuffles;
@@ -81,6 +89,7 @@ impl BlockStats {
     pub fn deterministic(&self) -> BlockStats {
         let mut c = self.clone();
         c.flag_poll_iterations = 0;
+        c.flag_backoff_events = 0;
         c
     }
 }
@@ -99,6 +108,7 @@ pub struct KernelAccumulator {
     atomic_ops: AtomicU64,
     flag_waits: AtomicU64,
     flag_poll_iterations: AtomicU64,
+    flag_backoff_events: AtomicU64,
     flag_publishes: AtomicU64,
     barriers: AtomicU64,
     warp_shuffles: AtomicU64,
@@ -120,6 +130,8 @@ impl KernelAccumulator {
         self.flag_waits.fetch_add(s.flag_waits, Ordering::Relaxed);
         self.flag_poll_iterations
             .fetch_add(s.flag_poll_iterations, Ordering::Relaxed);
+        self.flag_backoff_events
+            .fetch_add(s.flag_backoff_events, Ordering::Relaxed);
         self.flag_publishes.fetch_add(s.flag_publishes, Ordering::Relaxed);
         self.barriers.fetch_add(s.barriers, Ordering::Relaxed);
         self.warp_shuffles.fetch_add(s.warp_shuffles, Ordering::Relaxed);
@@ -139,6 +151,7 @@ impl KernelAccumulator {
             atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
             flag_waits: self.flag_waits.load(Ordering::Relaxed),
             flag_poll_iterations: self.flag_poll_iterations.load(Ordering::Relaxed),
+            flag_backoff_events: self.flag_backoff_events.load(Ordering::Relaxed),
             flag_publishes: self.flag_publishes.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             warp_shuffles: self.warp_shuffles.load(Ordering::Relaxed),
@@ -298,8 +311,10 @@ mod tests {
     fn deterministic_masks_poll_iterations() {
         let mut a = stats(1, 1);
         a.flag_poll_iterations = 999;
+        a.flag_backoff_events = 2;
         let mut b = stats(1, 1);
         b.flag_poll_iterations = 3;
+        b.flag_backoff_events = 0;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());
     }

@@ -57,6 +57,10 @@ struct StreamState {
 /// workers that complete them.
 pub(crate) struct StreamShared {
     pool: Arc<PoolShared>,
+    /// Keeps the owning device's worker threads alive while any stream
+    /// handle exists: without this, dropping the last `Gpu` handle would
+    /// join the pool and strand the stream's queued work forever.
+    _engine: Arc<crate::launch::Engine>,
     state: Mutex<StreamState>,
     idle: Condvar,
 }
@@ -133,6 +137,7 @@ impl std::fmt::Debug for Stream {
 impl Stream {
     pub(crate) fn new(
         pool: Arc<PoolShared>,
+        engine: Arc<crate::launch::Engine>,
         cfg: DeviceConfig,
         dispatch: DispatchOrder,
         tracer: Option<Arc<Tracer>>,
@@ -140,6 +145,7 @@ impl Stream {
         Stream {
             shared: Arc::new(StreamShared {
                 pool,
+                _engine: engine,
                 state: Mutex::new(StreamState::default()),
                 idle: Condvar::new(),
             }),
@@ -396,6 +402,101 @@ mod tests {
         assert_eq!(m.blocks, 1);
         // Blocking launches report to their caller, not to sync().
         assert_eq!(s.sync().len(), 1);
+    }
+
+    #[test]
+    fn sync_on_unused_stream_is_a_no_op() {
+        // An empty stream has nothing in flight and nothing queued; sync
+        // must return immediately (no hang, no panic), and repeatedly.
+        let g = gpu();
+        let s = g.stream();
+        assert!(s.sync().is_empty());
+        assert!(s.sync().is_empty());
+        // Still usable after the empty syncs.
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        {
+            let cell = Arc::clone(&cell);
+            s.enqueue(LaunchConfig::new("after-empty", 1, 32), move |ctx| cell.write(ctx, 0, 9));
+        }
+        assert_eq!(s.sync().len(), 1);
+        assert_eq!(cell.host_read(0), 9);
+        assert!(s.sync().is_empty(), "metrics are drained by the previous sync");
+    }
+
+    #[test]
+    fn zero_block_launch_on_a_bound_handle_is_a_no_op() {
+        let g = gpu();
+        let s = g.stream();
+        let bound = g.bind_stream(&s);
+        let m = bound.launch(LaunchConfig::new("empty-bound", 0, 32), |_ctx| {
+            unreachable!("zero blocks never run")
+        });
+        assert_eq!(m.blocks, 0);
+        assert!(s.sync().is_empty(), "blocking launches report to the caller, not sync");
+    }
+
+    #[test]
+    fn stream_outlives_its_gpu_handle() {
+        // The stream holds the pool alive through its own Arc; dropping
+        // the Gpu handle that created it must not invalidate the stream.
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        let s = {
+            let g = gpu();
+            g.stream()
+        };
+        {
+            let cell = Arc::clone(&cell);
+            s.enqueue(LaunchConfig::new("orphan", 1, 32), move |ctx| cell.write(ctx, 0, 5));
+        }
+        assert_eq!(s.sync().len(), 1);
+        assert_eq!(cell.host_read(0), 5);
+    }
+
+    #[test]
+    fn bind_stream_across_devices_validates_against_the_executing_device() {
+        // Binding a handle of one device onto another device's stream must
+        // route the launch to the *stream's* device — including the
+        // threads-per-block validation. tiny caps blocks at 256 threads;
+        // the titan-v stream accepts 512.
+        let small = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let big = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Concurrent);
+        let s = big.stream();
+        let bound = small.bind_stream(&s);
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        let m = bound.launch(LaunchConfig::new("cross", 1, 512), |ctx| {
+            cell.write(ctx, 0, ctx.threads_per_block() as u64);
+        });
+        assert_eq!(m.threads_per_block, 512);
+        assert_eq!(cell.host_read(0), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device maximum")]
+    fn bound_launch_oversized_for_the_stream_device_is_rejected() {
+        let big = Gpu::new(DeviceConfig::titan_v()).with_mode(ExecMode::Concurrent);
+        let small = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let s = small.stream();
+        // The binding handle would allow 1024 threads, but the executing
+        // (stream's) device does not.
+        big.bind_stream(&s).launch(LaunchConfig::new("too-big", 1, 1024), |_ctx| {});
+    }
+
+    #[test]
+    fn bind_stream_across_a_device_group_does_not_panic() {
+        use crate::group::DeviceGroup;
+        // A handle of device 0 bound to device 1's stream: the launch runs
+        // on device 1's pool, stream-ordered, without tripping any
+        // validation against the binding handle.
+        let group = DeviceGroup::new(DeviceConfig::tiny(), 2);
+        let s = group.device(1).stream();
+        let bound = group.device(0).bind_stream(&s);
+        let cell = Arc::new(GlobalBuffer::<u64>::zeroed(1));
+        let m = bound.launch(LaunchConfig::new("group-cross", 2, 32), |ctx| {
+            cell.atomic_add(ctx, 0, 1 + ctx.block_idx() as u64);
+        });
+        assert_eq!(m.blocks, 2);
+        assert_eq!(cell.host_read(0), 3);
+        assert!(s.sync().is_empty());
     }
 
     #[test]

@@ -116,10 +116,36 @@ impl StatusBoard {
     /// never be satisfied, so it panics with a deadlock diagnostic — this
     /// turns ordering bugs in soft-synchronized algorithms into crisp test
     /// failures instead of hangs.
+    ///
+    /// Concurrent waits back off adaptively in four phases, so flag
+    /// waiters never monopolize host cores other launches (or other
+    /// devices of a [`crate::group::DeviceGroup`]) need:
+    ///
+    /// 1. a bounded hot spin (`SPIN_POLLS` polls of `spin_loop`) for the
+    ///    common case where the producer publishes within microseconds;
+    /// 2. exponential backoff: the pause between polls doubles from 1 to
+    ///    `MAX_PAUSE` `spin_loop` hints, trading poll latency for bus and
+    ///    core pressure;
+    /// 3. `thread::yield_now()` — hand the timeslice to the producer this
+    ///    wait depends on (essential on few-core hosts);
+    /// 4. a 20 µs sleep — a stuck wait stops burning the core entirely.
+    ///
+    /// Every phase *transition* (1→2, 2→3, 3→4) increments the
+    /// `flag_backoff_events` counter. Like `flag_poll_iterations` it is
+    /// schedule-dependent and excluded from
+    /// [`BlockStats::deterministic`](crate::metrics::BlockStats::deterministic).
     pub fn wait_at_least(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
+        /// Polls spent in the bounded hot-spin phase.
+        const SPIN_POLLS: u64 = 64;
+        /// Cap of the exponential pause, in `spin_loop` hints per poll.
+        const MAX_PAUSE: u32 = 512;
+        /// Poll count at which yielding escalates to sleeping.
+        const SLEEP_POLLS: u64 = 4096;
+
         ctx.stats.flag_waits += 1;
         let limit = ctx.config().deadlock_limit;
         let mut iters: u64 = 0;
+        let mut pause: u32 = 1;
         loop {
             iters += 1;
             let v = self.flags[i].load(Ordering::Acquire);
@@ -150,16 +176,25 @@ impl StatusBoard {
                     ctx.block_idx()
                 );
             }
-            // Adaptive backoff: a satisfied-soon wait stays on the core
-            // (spin hint), a longer one hands its timeslice to the
-            // producer it waits on (yield — essential on few-core hosts),
-            // and a stuck one stops burning a core entirely (sleep), so
-            // pipelined waiters never starve the streams doing real work.
-            if iters < 64 {
+            if iters < SPIN_POLLS {
                 std::hint::spin_loop();
-            } else if iters < 4096 {
+            } else if pause <= MAX_PAUSE {
+                if pause == 1 {
+                    ctx.stats.flag_backoff_events += 1; // hot spin -> backoff
+                }
+                for _ in 0..pause {
+                    std::hint::spin_loop();
+                }
+                pause <<= 1;
+                if pause > MAX_PAUSE {
+                    ctx.stats.flag_backoff_events += 1; // backoff -> yield
+                }
+            } else if iters < SLEEP_POLLS {
                 std::thread::yield_now();
             } else {
+                if iters == SLEEP_POLLS {
+                    ctx.stats.flag_backoff_events += 1; // yield -> sleep
+                }
                 std::thread::sleep(std::time::Duration::from_micros(20));
             }
         }
@@ -293,6 +328,48 @@ mod tests {
             board.publish(ctx, 0, 3);
             board.publish(ctx, 0, 1);
         });
+    }
+
+    #[test]
+    fn long_waits_record_backoff_transitions() {
+        // Drive `wait_at_least` directly with hand-built worker contexts so
+        // the wait duration is controlled by the test, not the pool: the
+        // producer publishes after several milliseconds, forcing the waiter
+        // through hot spin, exponential backoff, yield, and sleep.
+        use crate::launch::ScratchArena;
+        use std::sync::atomic::AtomicBool;
+        let cfg = DeviceConfig::tiny();
+        let board = StatusBoard::new(1);
+        let abort = AtomicBool::new(false);
+        let stats = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let mut arena = ScratchArena::new();
+                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort);
+                board.publish(&mut ctx, 0, 1);
+            });
+            let mut arena = ScratchArena::new();
+            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort);
+            assert_eq!(board.wait_at_least(&mut ctx, 0, 1), 1);
+            ctx.stats.clone()
+        });
+        assert_eq!(stats.flag_waits, 1);
+        assert!(
+            (1..=3).contains(&stats.flag_backoff_events),
+            "a multi-ms wait escalates at least once and at most once per transition, got {}",
+            stats.flag_backoff_events
+        );
+        assert_eq!(
+            stats.deterministic().flag_backoff_events,
+            0,
+            "backoff events are schedule noise and masked from deterministic counters"
+        );
+
+        // An already-satisfied wait never leaves the hot path.
+        let mut arena = ScratchArena::new();
+        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort);
+        assert_eq!(board.wait_at_least(&mut ctx, 0, 1), 1);
+        assert_eq!(ctx.stats.flag_backoff_events, 0);
     }
 
     #[test]

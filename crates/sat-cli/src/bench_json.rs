@@ -17,18 +17,66 @@
 //! rotating streams ([`satcore::batch`]), reporting images/s for both and
 //! checking that the two strategies charge identical deterministic
 //! counters (folded into `all_counters_match`).
+//!
+//! `--devices 1,2,4` (with `--throughput`) adds a multi-device scaling
+//! sweep: the same batch sharded across a work-stealing
+//! [`DeviceGroup`](gpu_sim::group::DeviceGroup) at each device count.
+//! Wall-clock cannot show multi-device scaling on a small CI host, so the
+//! sweep reports **modeled** seconds from the timing model — deterministic,
+//! host-independent, and exactly the quantity the per-device simulated
+//! clocks balance. Counter totals must match the serial batch bit-for-bit
+//! at every device count (folded into `all_counters_match`), and a
+//! `multi_device_regression` flag trips when the best group's modeled
+//! images/s falls below the serial-equivalent baseline.
+//!
+//! Every timed point is sampled `--repeat` times after `--warmup` warmup
+//! runs and reported as min/median/max; single-sample BENCH comparisons
+//! were dominated by scheduler noise.
 
 use gpu_sim::launch::ExecMode;
 use gpu_sim::prelude::*;
 use satcore::prelude::*;
 use std::time::Instant;
 
+/// Min/median/max over one point's timed repetitions.
+#[derive(Clone, Copy)]
+struct Samples {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+impl Samples {
+    /// Summarize `v` (non-empty). Median of an even count is the mean of
+    /// the middle pair.
+    fn of(mut v: Vec<f64>) -> Samples {
+        assert!(!v.is_empty(), "at least one timed repetition");
+        v.sort_by(f64::total_cmp);
+        let mid = v.len() / 2;
+        let median =
+            if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) };
+        Samples { min: v[0], median, max: v[v.len() - 1] }
+    }
+
+    /// Time `reps` runs of `f` and summarize.
+    fn time(reps: usize, mut f: impl FnMut()) -> Samples {
+        let samples = (0..reps.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        Samples::of(samples)
+    }
+}
+
 /// One sweep point's measurement.
 struct Entry {
     alg: String,
     n: usize,
     mode: &'static str,
-    secs: f64,
+    secs: Samples,
     melem_s: f64,
     reads: u64,
     writes: u64,
@@ -45,8 +93,13 @@ pub struct Config {
     pub sizes: Vec<usize>,
     /// Tile width for the tile algorithms.
     pub w: usize,
-    /// Timed repetitions per point (after one warmup); min is reported.
+    /// Timed repetitions per point; min/median/max are reported and `secs`
+    /// (the regression-compared number) is the min.
     pub reps: usize,
+    /// Untimed warmup runs per point before the timed repetitions (the
+    /// first always doubles as the counter measurement and correctness
+    /// check; extra warmups heat pools and arenas).
+    pub warmup: usize,
     /// Execution modes to sweep ("sequential" / "concurrent").
     pub modes: Vec<String>,
     /// Substring filters on algorithm labels; empty = all.
@@ -67,6 +120,9 @@ pub struct Config {
     pub batch_n: usize,
     /// Throughput mode: number of streams to pipeline over.
     pub streams: usize,
+    /// Throughput mode: device counts for the multi-device scaling sweep
+    /// (empty = skip it).
+    pub devices: Vec<usize>,
 }
 
 impl Default for Config {
@@ -75,6 +131,7 @@ impl Default for Config {
             sizes: vec![1024, 2048, 4096],
             w: 32,
             reps: 3,
+            warmup: 1,
             modes: vec!["sequential".into(), "concurrent".into()],
             algs: Vec::new(),
             baseline: None,
@@ -83,6 +140,7 @@ impl Default for Config {
             batch: 256,
             batch_n: 32,
             streams: 4,
+            devices: Vec::new(),
         }
     }
 }
@@ -168,13 +226,16 @@ fn baseline_entry(doc: &str, alg: &str, n: usize, mode: &str) -> Option<(f64, [u
 
 fn render_entry(e: &Entry) -> String {
     let mut s = format!(
-        "{{\"alg\":\"{}\",\"n\":{},\"mode\":\"{}\",\"secs\":{:.6},\"melem_s\":{:.3},\
+        "{{\"alg\":\"{}\",\"n\":{},\"mode\":\"{}\",\"secs\":{:.6},\
+         \"secs_median\":{:.6},\"secs_max\":{:.6},\"melem_s\":{:.3},\
          \"reads\":{},\"writes\":{},\"bytes_read\":{},\"bytes_written\":{},\
          \"bank_conflict_cycles\":{}",
         e.alg,
         e.n,
         e.mode,
-        e.secs,
+        e.secs.min,
+        e.secs.median,
+        e.secs.max,
         e.melem_s,
         e.reads,
         e.writes,
@@ -183,7 +244,7 @@ fn render_entry(e: &Entry) -> String {
         e.bank_conflict_cycles,
     );
     if let Some(b) = e.baseline_secs {
-        s.push_str(&format!(",\"baseline_secs\":{:.6},\"speedup\":{:.2}", b, b / e.secs));
+        s.push_str(&format!(",\"baseline_secs\":{:.6},\"speedup\":{:.2}", b, b / e.secs.min));
     }
     if let Some(m) = e.counters_match {
         s.push_str(&format!(",\"counters_match\":{m}"));
@@ -192,14 +253,35 @@ fn render_entry(e: &Entry) -> String {
     s
 }
 
+/// One device count of the multi-device scaling sweep.
+struct DevicePoint {
+    devices: usize,
+    /// Host wall-clock samples for the group batch (informational: a
+    /// small host cannot show N-device parallelism in wall time).
+    wall_secs: Samples,
+    /// Modeled batch completion: the busiest lane's simulated clock.
+    modeled_secs: f64,
+    /// Serial-equivalent modeled work over modeled completion — the
+    /// scaling factor the group achieves, e.g. 4.0 for an ideally
+    /// balanced 4-device run.
+    scaling: f64,
+    steal_events: usize,
+    counters_match: bool,
+}
+
 /// Result of the batched throughput measurement.
 struct Throughput {
     images: usize,
     n: usize,
     streams: usize,
-    serial_secs: f64,
-    streamed_secs: f64,
+    serial_secs: Samples,
+    streamed_secs: Samples,
     counters_match: bool,
+    /// Multi-device scaling sweep, one point per `--devices` entry.
+    device_sweep: Vec<DevicePoint>,
+    /// Serial-equivalent modeled seconds of the batch (schedule- and
+    /// device-count-independent); baseline for `DevicePoint::scaling`.
+    modeled_serial_secs: f64,
 }
 
 /// Measure the batched SAT pipeline: serial blocking launches vs
@@ -234,7 +316,7 @@ fn run_throughput(cfg: &Config, device: &DeviceConfig) -> Throughput {
             "streamed batch produced a wrong SAT at n={n}"
         );
     }
-    let counters_match = serial_report.deterministic() == streamed_report.deterministic();
+    let mut counters_match = serial_report.deterministic() == streamed_report.deterministic();
     if !counters_match {
         eprintln!(
             "throughput counter drift: serial {:?} vs streamed {:?}",
@@ -243,16 +325,71 @@ fn run_throughput(cfg: &Config, device: &DeviceConfig) -> Throughput {
         );
     }
 
-    let mut serial_secs = f64::INFINITY;
-    let mut streamed_secs = f64::INFINITY;
-    for _ in 0..cfg.reps.max(1) {
-        let t0 = Instant::now();
+    for _ in 1..cfg.warmup.max(1) {
         sat_batch_serial(&gpu, params, &images);
-        serial_secs = serial_secs.min(t0.elapsed().as_secs_f64());
-        let t0 = Instant::now();
         sat_batch_streamed(&gpu, params, &images, cfg.streams);
-        streamed_secs = streamed_secs.min(t0.elapsed().as_secs_f64());
     }
+    let serial_secs = Samples::time(cfg.reps, || {
+        sat_batch_serial(&gpu, params, &images);
+    });
+    let streamed_secs = Samples::time(cfg.reps, || {
+        sat_batch_streamed(&gpu, params, &images, cfg.streams);
+    });
+
+    // Multi-device scaling sweep: shard the same batch across a
+    // work-stealing DeviceGroup at each requested device count. Scaling
+    // is asserted on *modeled* time (deterministic, host-independent);
+    // wall time is recorded but on a small host only shows overhead.
+    let mut device_sweep = Vec::new();
+    let mut modeled_serial_secs = 0.0;
+    for &devices in &cfg.devices {
+        let group = gpu_sim::group::DeviceGroup::new(device.clone(), devices.max(1));
+        for img in &images {
+            img.output.host_fill(0);
+        }
+        let (report, gm) = sat_batch_multi_device(&group, params, &images);
+        for (m, img) in mats.iter().zip(&images) {
+            assert_eq!(
+                &Matrix::from_device(&img.output, n, n),
+                &satcore::reference::sat(m),
+                "multi-device batch produced a wrong SAT at n={n} ({devices} devices)"
+            );
+        }
+        let dev_match = report.deterministic() == serial_report.deterministic();
+        if !dev_match {
+            eprintln!(
+                "multi-device counter drift at {devices} devices: {:?} vs serial {:?}",
+                report.deterministic(),
+                serial_report.deterministic()
+            );
+        }
+        counters_match &= dev_match;
+        // The per-job sum is device-count-independent; any sweep point
+        // can supply the serial-equivalent baseline.
+        modeled_serial_secs = gm.modeled_device_seconds();
+        let modeled_secs = gm.modeled_completion_seconds();
+        let wall_secs = Samples::time(cfg.reps, || {
+            sat_batch_multi_device(&group, params, &images);
+        });
+        let point = DevicePoint {
+            devices: group.len(),
+            wall_secs,
+            modeled_secs,
+            scaling: modeled_serial_secs / modeled_secs,
+            steal_events: gm.steal_events(),
+            counters_match: dev_match,
+        };
+        eprintln!(
+            "throughput {devices} device(s): modeled {:>8.2} img/s ({:.2}x serial), \
+             {} steals, wall {:.3}s",
+            images.len() as f64 / point.modeled_secs,
+            point.scaling,
+            point.steal_events,
+            point.wall_secs.min,
+        );
+        device_sweep.push(point);
+    }
+
     let tp = Throughput {
         images: images.len(),
         n,
@@ -260,17 +397,27 @@ fn run_throughput(cfg: &Config, device: &DeviceConfig) -> Throughput {
         serial_secs,
         streamed_secs,
         counters_match,
+        device_sweep,
+        modeled_serial_secs,
     };
     eprintln!(
         "throughput {} images n={} serial {:>8.2} img/s  streamed({} streams) {:>8.2} img/s  ({:.2}x)",
         tp.images,
         tp.n,
-        tp.images as f64 / tp.serial_secs,
+        tp.images as f64 / tp.serial_secs.min,
         tp.streams,
-        tp.images as f64 / tp.streamed_secs,
-        tp.serial_secs / tp.streamed_secs,
+        tp.images as f64 / tp.streamed_secs.min,
+        tp.serial_secs.min / tp.streamed_secs.min,
     );
     tp
+}
+
+/// Whether the multi-device sweep regressed: with stealing and balanced
+/// shards the best group must at least match the serial-equivalent
+/// modeled throughput (tiny tolerance for float division).
+fn multi_device_regression(tp: &Throughput) -> bool {
+    tp.device_sweep.iter().map(|p| p.scaling).fold(f64::NEG_INFINITY, f64::max) < 0.999
+        && !tp.device_sweep.is_empty()
 }
 
 /// Run the sweep and return the JSON document.
@@ -295,8 +442,8 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
             let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
             for mode_name in &cfg.modes {
                 let gpu = Gpu::new(device.clone()).with_mode(mode_of(mode_name));
-                // Warmup run doubles as the counter measurement and the
-                // correctness check.
+                // The first warmup run doubles as the counter measurement
+                // and the correctness check.
                 let run = alg.run(&gpu, &input, &output, n);
                 if let Some(expect) = &expect {
                     assert_eq!(
@@ -306,18 +453,18 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
                     );
                 }
                 let stats = run.total_stats().deterministic();
-                let mut secs = f64::INFINITY;
-                for _ in 0..cfg.reps.max(1) {
-                    let t0 = Instant::now();
+                for _ in 1..cfg.warmup.max(1) {
                     alg.run(&gpu, &input, &output, n);
-                    secs = secs.min(t0.elapsed().as_secs_f64());
                 }
+                let secs = Samples::time(cfg.reps, || {
+                    alg.run(&gpu, &input, &output, n);
+                });
                 let mut e = Entry {
                     alg: label.clone(),
                     n,
                     mode: if *mode_name == "sequential" { "sequential" } else { "concurrent" },
                     secs,
-                    melem_s: (n * n) as f64 / 1e6 / secs,
+                    melem_s: (n * n) as f64 / 1e6 / secs.min,
                     reads: stats.global_reads,
                     writes: stats.global_writes,
                     bytes_read: stats.bytes_read,
@@ -360,11 +507,12 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
                     }
                 }
                 eprintln!(
-                    "bench {label:<12} n={n:<5} {mode_name:<10} {:>10.3} ms  {:>8.2} Melem/s{}",
-                    e.secs * 1e3,
+                    "bench {label:<12} n={n:<5} {mode_name:<10} {:>10.3} ms (med {:.3})  {:>8.2} Melem/s{}",
+                    e.secs.min * 1e3,
+                    e.secs.median * 1e3,
                     e.melem_s,
                     e.baseline_secs
-                        .map(|b| format!("  ({:.2}x vs baseline)", b / e.secs))
+                        .map(|b| format!("  ({:.2}x vs baseline)", b / e.secs.min))
                         .unwrap_or_default(),
                 );
                 entries.push(e);
@@ -384,25 +532,63 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     doc.push_str(&format!("\"host_workers\":{},\n", device.host_workers));
     doc.push_str(&format!("\"tile_width\":{},\n", cfg.w));
     doc.push_str(&format!("\"reps\":{},\n", cfg.reps));
+    doc.push_str(&format!("\"warmup\":{},\n", cfg.warmup));
     if baseline_doc.is_some() || throughput.is_some() {
         doc.push_str(&format!("\"all_counters_match\":{all_counters_match},\n"));
     }
     if let Some(tp) = &throughput {
         doc.push_str(&format!(
             "\"throughput\":{{\"images\":{},\"n\":{},\"streams\":{},\
-             \"serial_secs\":{:.6},\"streamed_secs\":{:.6},\
+             \"serial_secs\":{:.6},\"serial_secs_median\":{:.6},\"serial_secs_max\":{:.6},\
+             \"streamed_secs\":{:.6},\"streamed_secs_median\":{:.6},\"streamed_secs_max\":{:.6},\
              \"serial_images_s\":{:.3},\"streamed_images_s\":{:.3},\
              \"speedup\":{:.2},\"counters_match\":{}}},\n",
             tp.images,
             tp.n,
             tp.streams,
-            tp.serial_secs,
-            tp.streamed_secs,
-            tp.images as f64 / tp.serial_secs,
-            tp.images as f64 / tp.streamed_secs,
-            tp.serial_secs / tp.streamed_secs,
+            tp.serial_secs.min,
+            tp.serial_secs.median,
+            tp.serial_secs.max,
+            tp.streamed_secs.min,
+            tp.streamed_secs.median,
+            tp.streamed_secs.max,
+            tp.images as f64 / tp.serial_secs.min,
+            tp.images as f64 / tp.streamed_secs.min,
+            tp.serial_secs.min / tp.streamed_secs.min,
             tp.counters_match,
         ));
+        if !tp.device_sweep.is_empty() {
+            doc.push_str(&format!(
+                "\"multi_device_regression\":{},\n",
+                multi_device_regression(tp)
+            ));
+            doc.push_str(&format!(
+                "\"multi_device\":{{\"modeled_serial_secs\":{:.9},\
+                 \"modeled_serial_images_s\":{:.3},\"sweep\":[",
+                tp.modeled_serial_secs,
+                tp.images as f64 / tp.modeled_serial_secs,
+            ));
+            for (k, p) in tp.device_sweep.iter().enumerate() {
+                if k > 0 {
+                    doc.push(',');
+                }
+                doc.push_str(&format!(
+                    "\n{{\"devices\":{},\"modeled_secs\":{:.9},\"modeled_images_s\":{:.3},\
+                     \"scaling\":{:.3},\"steal_events\":{},\"wall_secs\":{:.6},\
+                     \"wall_secs_median\":{:.6},\"wall_secs_max\":{:.6},\"counters_match\":{}}}",
+                    p.devices,
+                    p.modeled_secs,
+                    tp.images as f64 / p.modeled_secs,
+                    p.scaling,
+                    p.steal_events,
+                    p.wall_secs.min,
+                    p.wall_secs.median,
+                    p.wall_secs.max,
+                    p.counters_match,
+                ));
+            }
+            doc.push_str("\n]},\n");
+        }
     }
     doc.push_str("\"results\":[\n");
     for (k, e) in entries.iter().enumerate() {
@@ -466,6 +652,7 @@ mod tests {
             sizes: Vec::new(),
             w: 8,
             reps: 1,
+            warmup: 1,
             modes: Vec::new(),
             algs: vec!["nothing-matches-this".into()],
             baseline: None,
@@ -474,11 +661,53 @@ mod tests {
             batch: 3,
             batch_n: 16,
             streams: 2,
+            devices: Vec::new(),
         };
         let doc = run(&cfg, &DeviceConfig::tiny());
         assert!(doc.contains("\"throughput\":{\"images\":3,\"n\":16,\"streams\":2,"));
+        assert!(doc.contains("\"serial_secs_median\":"));
         assert!(doc.contains("\"counters_match\":true"));
         assert!(doc.contains("\"all_counters_match\":true"));
+        assert!(!doc.contains("\"multi_device\""), "no sweep without --devices");
+    }
+
+    #[test]
+    fn multi_device_sweep_reports_scaling_without_regression() {
+        let cfg = Config {
+            sizes: Vec::new(),
+            algs: vec!["nothing-matches-this".into()],
+            w: 8,
+            reps: 2,
+            warmup: 1,
+            throughput: true,
+            batch: 12,
+            batch_n: 16,
+            streams: 2,
+            devices: vec![1, 2],
+            ..Config::default()
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        assert!(doc.contains("\"multi_device_regression\":false"), "doc:\n{doc}");
+        assert!(doc.contains("\"multi_device\":{\"modeled_serial_secs\":"));
+        assert!(doc.contains("\"devices\":1,"));
+        assert!(doc.contains("\"devices\":2,"));
+        assert!(doc.contains("\"steal_events\":"));
+        assert!(doc.contains("\"all_counters_match\":true"));
+        // A balanced 2-device group must model close to 2x serial; allow
+        // slack for the odd-shard remainder.
+        let sweep_part = doc.split("\"devices\":2,").nth(1).unwrap();
+        let scaling: f64 = json_field(sweep_part, "scaling").unwrap().parse().unwrap();
+        assert!(scaling > 1.5, "2-device scaling {scaling} too low\n{doc}");
+    }
+
+    #[test]
+    fn samples_summarize_min_median_max() {
+        let s = Samples::of(vec![3.0, 1.0, 2.0]);
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+        let s = Samples::of(vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.5, 4.0));
+        let s = Samples::of(vec![5.0]);
+        assert_eq!((s.min, s.median, s.max), (5.0, 5.0, 5.0));
     }
 
     #[test]

@@ -73,9 +73,11 @@ fn usage() -> &'static str {
                   options: --n N (default 256), --w W (default 32), --seed S\n\
        bench-json wall-clock perf sweep emitted as JSON (BENCH_*.json)\n\
                   options: --sizes a,b,c (default 1024,2048,4096), --w W,\n\
-                           --reps R (default 3), --modes sequential,concurrent,\n\
+                           --repeat R (default 3, alias --reps), --warmup K (default 1),\n\
+                           --modes sequential,concurrent,\n\
                            --algs substr,substr, --baseline FILE, --out FILE,\n\
-                           --throughput [--batch N --batch-n SIDE --streams S]\n\
+                           --throughput [--batch N --batch-n SIDE --streams S\n\
+                                         --devices 1,2,4 (multi-device scaling sweep)]\n\
        all        every report above, in order"
 }
 
@@ -127,7 +129,14 @@ fn main() -> ExitCode {
             let bcfg = bench_json::Config {
                 sizes: parse_list(&args, "--sizes", &defaults.sizes),
                 w: parse_usize(&args, "--w", defaults.w),
-                reps: parse_usize(&args, "--reps", defaults.reps),
+                // --repeat is the documented spelling; --reps stays as an
+                // alias for older scripts.
+                reps: parse_usize(
+                    &args,
+                    "--repeat",
+                    parse_usize(&args, "--reps", defaults.reps),
+                ),
+                warmup: parse_usize(&args, "--warmup", defaults.warmup),
                 modes: parse_opt(&args, "--modes").map_or(defaults.modes, |v| {
                     v.split(',').map(|s| s.trim().to_string()).collect()
                 }),
@@ -140,6 +149,7 @@ fn main() -> ExitCode {
                 batch: parse_usize(&args, "--batch", defaults.batch),
                 batch_n: parse_usize(&args, "--batch-n", defaults.batch_n),
                 streams: parse_usize(&args, "--streams", defaults.streams),
+                devices: parse_list(&args, "--devices", &defaults.devices),
             };
             let doc = bench_json::run(&bcfg, gpu.config());
             match &bcfg.out {
@@ -151,6 +161,12 @@ fn main() -> ExitCode {
             }
             if doc.contains("\"all_counters_match\":false") {
                 eprintln!("counter drift vs baseline: the run charged different metrics");
+                return ExitCode::FAILURE;
+            }
+            if doc.contains("\"multi_device_regression\":true") {
+                eprintln!(
+                    "multi-device regression: best group below serial-equivalent modeled throughput"
+                );
                 return ExitCode::FAILURE;
             }
         }

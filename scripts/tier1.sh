@@ -19,3 +19,12 @@ cargo clippy --all-targets --workspace -- -D warnings
 # all_counters_match:false, failing tier-1 without running the full sweep.
 ./target/release/sat-cli bench-json --algs skss_lb,2r1w --sizes 1024 --reps 1 \
   --baseline BENCH_1.json --throughput --batch 16 --batch-n 32 --out /dev/null
+
+# Multi-device smoke: a tiny 2-device sharded batch on the smallest device
+# config. bench-json exits nonzero if the group's deterministic counters
+# diverge from the single-device serial batch (all_counters_match:false)
+# or if the best group models below serial-equivalent throughput
+# (multi_device_regression:true).
+./target/release/sat-cli bench-json --algs none --sizes 64 --reps 2 --warmup 1 \
+  --w 8 --device tiny --throughput --batch 12 --batch-n 16 --devices 1,2 \
+  --out /dev/null

@@ -102,6 +102,43 @@ fn deterministic_counters_are_schedule_invariant() {
 }
 
 #[test]
+fn multi_device_batch_counters_are_schedule_invariant() {
+    // The aggregated GroupMetrics counters of the multi-device batch are
+    // per-job sums, so they must be bit-identical for 1, 2, and 4 devices,
+    // for any dispatch order inside each device, and across steal
+    // interleavings — and equal to the single-device serial batch.
+    let params = SatParams { w: W, threads_per_block: 64 };
+    let mats: Vec<Matrix<u32>> =
+        (0..10).map(|i| Matrix::<u32>::random(N, N, 0x6E0 + i, 16)).collect();
+    let expect: Vec<Matrix<u32>> = mats.iter().map(satcore::reference::sat).collect();
+    let images: Vec<BatchImage<u32>> =
+        mats.iter().map(|m| BatchImage::from_host(m.as_slice(), N)).collect();
+    let serial =
+        sat_batch_serial(&Gpu::new(DeviceConfig::tiny()), params, &images).deterministic();
+
+    for devices in [1, 2, 4] {
+        for dispatch in [DispatchOrder::InOrder, DispatchOrder::Random(5)] {
+            for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                for img in &images {
+                    img.output.host_fill(0);
+                }
+                let group =
+                    DeviceGroup::new(DeviceConfig::tiny(), devices).with_dispatch(dispatch);
+                let (report, gm) =
+                    sat_batch_multi_device_policy(&group, params, &images, policy);
+                let tag = format!("{devices} devices, {dispatch:?}, {policy:?}");
+                for (e, img) in expect.iter().zip(&images) {
+                    assert_eq!(&Matrix::from_device(&img.output, N, N), e, "{tag}: wrong SAT");
+                }
+                assert_eq!(report.deterministic(), serial, "{tag}: batch counters drifted");
+                assert_eq!(gm.deterministic(), serial, "{tag}: group counters drifted");
+                assert_eq!(gm.total_jobs(), images.len(), "{tag}: lost or duplicated jobs");
+            }
+        }
+    }
+}
+
+#[test]
 fn duplication_baseline_is_schedule_invariant() {
     // The duplication baseline is not a `SatAlgorithm`; cover it directly.
     let a = Matrix::<u32>::random(N, N, 0xD0B, 16);
