@@ -1,0 +1,45 @@
+//! Look-back window sweep for `skss_lb`: how much of the per-predecessor
+//! round-trip cost the windowed bulk loads recover, as a function of the
+//! window size `W = 1, 4, 8, 16`.
+//!
+//! `W = 1` is the strict per-predecessor walk (one scalar transaction per
+//! visited tile); larger windows slurp up to `W` located predecessors per
+//! bulk transaction. Charged counters are identical at every setting (see
+//! `tests/counter_parity.rs`), so any delta here is pure host-side
+//! simulation overhead — the quantity the simulator wants to minimize.
+//!
+//! The sweep runs concurrent mode with adversarial dispatch: under an
+//! in-order sequential schedule the walks are almost always one hop (the
+//! left neighbour's global sums are already published), so the window has
+//! nothing to batch; reversed dispatch under the worker pool produces the
+//! deep walks the paper's Fig. 10/11 describe.
+
+use bench::{device_pair, harness, workload};
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+fn main() {
+    let windows = [1usize, 4, 8, 16];
+    for &n in &[512usize, 1024] {
+        let a = workload(n);
+        let (input, output) = device_pair(&a);
+        for &w in &[32usize] {
+            let params = SatParams::paper(w);
+            for &win in &windows {
+                let alg = SkssLb::new(params).with_lookback_window(win);
+                for (mode, tag) in [
+                    (ExecMode::Sequential, "seq"),
+                    (ExecMode::Concurrent, "conc"),
+                ] {
+                    let gpu = Gpu::new(DeviceConfig::titan_v())
+                        .with_mode(mode)
+                        .with_dispatch(DispatchOrder::Reversed);
+                    harness::case(
+                        &format!("lookback_window/n{n}_w{w}_{tag}/W{win}"),
+                        || alg.run(&gpu, &input, &output, n),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -101,6 +101,11 @@ fn accumulate_globals<T: DeviceElem>(
     ls: &ScalarAux<T>,
     gs: &ScalarAux<T>,
 ) {
+    // Up to this many tile vectors per bulk transaction in the running
+    // prefix below; the charges are identical to the per-tile loop (reads
+    // and writes of the same `count * w` elements), only the host-side
+    // round-trip count drops.
+    const CHUNK: usize = 8;
     let t = grid.t;
     let b = ctx.block_idx();
     if b < t {
@@ -110,16 +115,25 @@ fn accumulate_globals<T: DeviceElem>(
         if js.start > 0 {
             grs.read_vec_into(ctx, ti, js.start - 1, &mut acc);
         }
-        let mut v: Vec<T> = ctx.scratch(grid.w);
-        for tj in js {
-            lrs.read_vec_into(ctx, ti, tj, &mut v);
-            for (a, &x) in acc.iter_mut().zip(&v) {
-                *a = a.add(x);
+        let mut buf: Vec<T> = ctx.scratch_overwrite(CHUNK * grid.w);
+        let mut tj = js.start;
+        while tj < js.end {
+            let c = (js.end - tj).min(CHUNK);
+            let win = &mut buf[..c * grid.w];
+            lrs.read_row_window_into(ctx, ti, tj, c, win);
+            // Turn the chunk of local sums into running prefixes in place,
+            // then store the whole window back in one transaction.
+            for row in win.chunks_exact_mut(grid.w) {
+                for (x, a) in row.iter_mut().zip(acc.iter_mut()) {
+                    *x = x.add(*a);
+                    *a = *x;
+                }
             }
-            grs.write_vec(ctx, ti, tj, &acc);
+            grs.write_row_window_from(ctx, ti, tj, c, win);
+            tj += c;
         }
         ctx.recycle(acc);
-        ctx.recycle(v);
+        ctx.recycle(buf);
     } else if b < 2 * t {
         let tj = b - t;
         let is = row_range(grid, tj, &diags);
@@ -127,16 +141,23 @@ fn accumulate_globals<T: DeviceElem>(
         if is.start > 0 {
             gcs.read_vec_into(ctx, is.start - 1, tj, &mut acc);
         }
-        let mut v: Vec<T> = ctx.scratch(grid.w);
-        for ti in is {
-            lcs.read_vec_into(ctx, ti, tj, &mut v);
-            for (a, &x) in acc.iter_mut().zip(&v) {
-                *a = a.add(x);
+        let mut buf: Vec<T> = ctx.scratch_overwrite(CHUNK * grid.w);
+        let mut ti = is.start;
+        while ti < is.end {
+            let c = (is.end - ti).min(CHUNK);
+            let win = &mut buf[..c * grid.w];
+            lcs.read_col_window_into(ctx, ti, tj, c, win);
+            for row in win.chunks_exact_mut(grid.w) {
+                for (x, a) in row.iter_mut().zip(acc.iter_mut()) {
+                    *x = x.add(*a);
+                    *a = *x;
+                }
             }
-            gcs.write_vec(ctx, ti, tj, &acc);
+            gcs.write_col_window_from(ctx, ti, tj, c, win);
+            ti += c;
         }
         ctx.recycle(acc);
-        ctx.recycle(v);
+        ctx.recycle(buf);
     } else {
         // GS(I,J) = LS(I,J) + GS(I-1,J) + GS(I,J-1) - GS(I-1,J-1); every
         // neighbour is either out of the grid (zero), on an earlier

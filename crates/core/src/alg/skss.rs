@@ -19,7 +19,7 @@ use gpu_sim::shared::Arrangement;
 use gpu_sim::sync::{DeviceCounter, StatusBoard};
 
 use super::{SatAlgorithm, SatParams};
-use crate::tile::{load_tile, store_tile, TileGrid, VecAux};
+use crate::tile::{load_tile, store_tile, TileGrid, VecAux, MAX_STACK_W};
 
 /// Column-pipelined single-kernel SAT.
 #[derive(Debug, Clone, Copy)]
@@ -71,8 +71,12 @@ impl<T: DeviceElem> SatAlgorithm<T> for Skss {
                     return;
                 }
                 // GCP(I-1, J): bottom row of the GSAT above, carried in
-                // shared memory/registers — no global access.
-                let mut carry_top = vec![T::zero(); w];
+                // shared memory/registers — no global access. Border
+                // buffers live on the stack and the tile backing in the
+                // scratch arena, so the column loop allocates nothing.
+                let mut carry_top = [T::zero(); MAX_STACK_W];
+                let carry_top = &mut carry_top[..w];
+                let mut left_buf = [T::zero(); MAX_STACK_W];
                 for ti in 0..t {
                     let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
 
@@ -80,26 +84,28 @@ impl<T: DeviceElem> SatAlgorithm<T> for Skss {
                     // column before the row-wise scan.
                     if tj > 0 {
                         r_flags.wait_at_least(ctx, grid.tile_index(ti, tj - 1), 1);
-                        let left = grs.read_vec(ctx, ti, tj - 1);
-                        tile.add_to_col(ctx, 0, &left);
+                        let left = grs.read_vec_stack(ctx, ti, tj - 1, &mut left_buf);
+                        tile.add_to_col(ctx, 0, left);
                     }
                     ctx.syncthreads();
                     tile.scan_rows(ctx);
 
                     // The rightmost column now is GRS(I, J): publish it.
-                    let mut grs_cur = vec![T::zero(); w];
-                    tile.copy_col_into(ctx, w - 1, &mut grs_cur);
-                    grs.write_vec(ctx, ti, tj, &grs_cur);
+                    let mut grs_cur = [T::zero(); MAX_STACK_W];
+                    let grs_cur = &mut grs_cur[..w];
+                    tile.copy_col_into(ctx, w - 1, grs_cur);
+                    grs.write_vec(ctx, ti, tj, grs_cur);
                     r_flags.publish(ctx, grid.tile_index(ti, tj), 1);
 
                     // Fold the carried top row and finish the column scan:
                     // the tile is GSAT(I, J).
-                    tile.add_to_row(ctx, 0, &carry_top);
+                    tile.add_to_row(ctx, 0, carry_top);
                     ctx.syncthreads();
                     tile.scan_cols(ctx);
                     ctx.syncthreads();
                     store_tile(ctx, output, grid, ti, tj, &tile);
-                    tile.copy_row_into(ctx, w - 1, &mut carry_top);
+                    tile.copy_row_into(ctx, w - 1, carry_top);
+                    tile.release(ctx);
                 }
             }
         }));

@@ -94,11 +94,22 @@ pub fn tile_for_serial(serial: usize, t: usize) -> (usize, usize) {
     (ti, d - ti)
 }
 
-/// The paper's algorithm, with two ablation knobs: the shared-memory
-/// arrangement (diagonal vs. row-major, Section II) and whether the
+/// Default look-back window (see `crates/bench/benches/lookback_window.rs`
+/// for the sweep that picked it: W = 8 is within noise of 16 and clearly
+/// ahead of 1 at large `n` under concurrency).
+pub const DEFAULT_LOOKBACK_WINDOW: usize = 8;
+
+/// Hard cap on the look-back window: bounds the stack index/value buffers
+/// of the diagonal walk's batched gather.
+const MAX_WINDOW: usize = 64;
+
+/// The paper's algorithm, with ablation knobs: the shared-memory
+/// arrangement (diagonal vs. row-major, Section II), whether the
 /// look-back walks are decoupled (the paper's LB technique) or replaced by
 /// a plain wait for the immediate predecessor's global sums (a coupled
-/// wavefront, isolating the value of look-back).
+/// wavefront, isolating the value of look-back), and the look-back
+/// *window* — how many predecessors' published sums one bulk warp
+/// transaction slurps once the flag walk has located them.
 #[derive(Debug, Clone, Copy)]
 pub struct SkssLb {
     /// Tile width and block size.
@@ -109,12 +120,23 @@ pub struct SkssLb {
     /// dependency waits for the predecessor's *global* value, serializing
     /// the wavefront exactly like 1R1W-SKSS's column pipeline.
     pub decoupled: bool,
+    /// Look-back window: up to this many predecessors' row/col sums move
+    /// in one bulk transaction instead of one scalar round-trip each.
+    /// `1` reproduces the per-predecessor walk of the strict paper
+    /// reading; charged counters are identical at every setting (only the
+    /// host-side transaction granularity changes). Decoupled variant only.
+    pub lookback_window: usize,
 }
 
 impl SkssLb {
     /// The paper's configuration: diagonal arrangement, look-back on.
     pub fn new(params: SatParams) -> Self {
-        SkssLb { params, arrangement: Arrangement::Diagonal, decoupled: true }
+        SkssLb {
+            params,
+            arrangement: Arrangement::Diagonal,
+            decoupled: true,
+            lookback_window: DEFAULT_LOOKBACK_WINDOW,
+        }
     }
 
     /// Ablation: override the shared-memory arrangement.
@@ -127,6 +149,12 @@ impl SkssLb {
     /// sums instead).
     pub fn with_decoupled(mut self, decoupled: bool) -> Self {
         self.decoupled = decoupled;
+        self
+    }
+
+    /// Ablation: override the look-back window (clamped to `1..=64`).
+    pub fn with_lookback_window(mut self, window: usize) -> Self {
+        self.lookback_window = window.clamp(1, MAX_WINDOW);
         self
     }
 }
@@ -163,7 +191,17 @@ impl<T: DeviceElem> State<T> {
 
     /// Step 2.A.2 (Fig. 10): compute `GRS(I, J-1)` by walking leftwards,
     /// summing `LRS` vectors until some predecessor's `GRS` appears.
-    fn look_back_grs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool) -> Vec<T> {
+    ///
+    /// With `window > 1` the flag walk runs exactly as in the scalar
+    /// variant (same `wait_at_least` calls, same observations), but the
+    /// located predecessors' rows are then slurped in bulk transactions of
+    /// up to `window` rows each instead of one scalar round-trip per
+    /// predecessor. Published values never change, so deferring the data
+    /// loads past the walk is safe; accumulation stays in the walk's
+    /// descending-`j` order, so the result is bit-identical even for
+    /// floats, and every charge lands on the same [`gpu_sim::metrics`]
+    /// sink methods the scalar expansion would hit.
+    fn look_back_grs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
         let w = self.grid.w;
         let mut acc: Vec<T> = ctx.scratch(w);
         if tj == 0 {
@@ -173,6 +211,49 @@ impl<T: DeviceElem> State<T> {
             // Ablation: coupled wait for the left neighbour's GRS.
             self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti, tj - 1), R_GRS);
             self.grs.read_vec_into(ctx, ti, tj - 1, &mut acc);
+            return acc;
+        }
+        if window > 1 && !gpu_sim::global::force_scalar() {
+            // Phase 1 — flag walk, identical to the scalar loop below.
+            let mut j = tj - 1;
+            let (term_j, term_grs) = loop {
+                let st = self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti, j), R_LRS);
+                if st >= R_GRS {
+                    break (j, true);
+                }
+                if j == 0 {
+                    // GRS(I,0) = LRS(I,0): the walk completes at column 0.
+                    break (0, false);
+                }
+                j -= 1;
+            };
+            // Phase 2 — bulk loads: LRS rows above the terminal in
+            // window-sized contiguous chunks (VecAux rows of one tile row
+            // are adjacent), then the terminal row.
+            let mut buf: Vec<T> = ctx.scratch_overwrite(window * w);
+            let lo = term_j + 1;
+            let mut hi = tj;
+            while hi > lo {
+                let c = (hi - lo).min(window);
+                let dst = &mut buf[..c * w];
+                self.lrs.read_row_window_into(ctx, ti, hi - c, c, dst);
+                for row in dst.chunks_exact(w).rev() {
+                    for (a, &b) in acc.iter_mut().zip(row) {
+                        *a = a.add(b);
+                    }
+                }
+                hi -= c;
+            }
+            let term = &mut buf[..w];
+            if term_grs {
+                self.grs.read_vec_into(ctx, ti, term_j, term);
+            } else {
+                self.lrs.read_vec_into(ctx, ti, term_j, term);
+            }
+            for (a, &b) in acc.iter_mut().zip(term.iter()) {
+                *a = a.add(b);
+            }
+            ctx.recycle(buf);
             return acc;
         }
         let mut tmp: Vec<T> = ctx.scratch(w);
@@ -199,8 +280,11 @@ impl<T: DeviceElem> State<T> {
     }
 
     /// Step 2.B.2: the same walk upwards over `C`/`LCS`/`GCS` for
-    /// `GCS(I-1, J)`.
-    fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool) -> Vec<T> {
+    /// `GCS(I-1, J)`. Windowed exactly like [`State::look_back_grs`],
+    /// except the visited rows sit one tile-row apart in the aux buffer,
+    /// so the bulk phase uses a strided 2-D load (still one row-coalesced
+    /// transaction per visited row).
+    fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
         let w = self.grid.w;
         let mut acc: Vec<T> = ctx.scratch(w);
         if ti == 0 {
@@ -209,6 +293,46 @@ impl<T: DeviceElem> State<T> {
         if !decoupled {
             self.c_flags.wait_at_least(ctx, self.grid.tile_index(ti - 1, tj), C_GCS);
             self.gcs.read_vec_into(ctx, ti - 1, tj, &mut acc);
+            return acc;
+        }
+        if window > 1 && !gpu_sim::global::force_scalar() {
+            // Phase 1 — flag walk, identical to the scalar loop below.
+            let mut i = ti - 1;
+            let (term_i, term_gcs) = loop {
+                let st = self.c_flags.wait_at_least(ctx, self.grid.tile_index(i, tj), C_LCS);
+                if st >= C_GCS {
+                    break (i, true);
+                }
+                if i == 0 {
+                    break (0, false);
+                }
+                i -= 1;
+            };
+            // Phase 2 — bulk loads, descending-i accumulation order.
+            let mut buf: Vec<T> = ctx.scratch_overwrite(window * w);
+            let lo = term_i + 1;
+            let mut hi = ti;
+            while hi > lo {
+                let c = (hi - lo).min(window);
+                let dst = &mut buf[..c * w];
+                self.lcs.read_col_window_into(ctx, hi - c, tj, c, dst);
+                for row in dst.chunks_exact(w).rev() {
+                    for (a, &b) in acc.iter_mut().zip(row) {
+                        *a = a.add(b);
+                    }
+                }
+                hi -= c;
+            }
+            let term = &mut buf[..w];
+            if term_gcs {
+                self.gcs.read_vec_into(ctx, term_i, tj, term);
+            } else {
+                self.lcs.read_vec_into(ctx, term_i, tj, term);
+            }
+            for (a, &b) in acc.iter_mut().zip(term.iter()) {
+                *a = a.add(b);
+            }
+            ctx.recycle(buf);
             return acc;
         }
         let mut tmp: Vec<T> = ctx.scratch(w);
@@ -235,7 +359,12 @@ impl<T: DeviceElem> State<T> {
 
     /// Step 3.2 (Fig. 11): compute `GS(I-1, J-1)` by walking the diagonal,
     /// summing `GLS` strips until some predecessor's `GS` appears.
-    fn look_back_gs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool) -> T {
+    ///
+    /// Windowed: the flag walk locates the terminal as in the scalar loop,
+    /// then the visited `GLS` scalars (which sit `t+1` apart along the
+    /// diagonal of the aux buffer) are fetched through a batched gather,
+    /// `window` at a time, accumulated in the walk's ascending-`k` order.
+    fn look_back_gs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> T {
         let mut acc = T::zero();
         if ti == 0 || tj == 0 {
             return acc;
@@ -243,6 +372,45 @@ impl<T: DeviceElem> State<T> {
         if !decoupled {
             self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti - 1, tj - 1), R_GS);
             return self.gs.read(ctx, ti - 1, tj - 1);
+        }
+        if window > 1 && !gpu_sim::global::force_scalar() {
+            // Phase 1 — flag walk, identical to the scalar loop below.
+            let mut k = 1;
+            let (term_k, term_gs) = loop {
+                let (pi, pj) = (ti - k, tj - k);
+                let st = self.r_flags.wait_at_least(ctx, self.grid.tile_index(pi, pj), R_GLS);
+                if st >= R_GS {
+                    break (k, true);
+                }
+                if pi == 0 || pj == 0 {
+                    // GLS on the border equals GS there (GS(-1,·) = 0).
+                    break (k, false);
+                }
+                k += 1;
+            };
+            // Phase 2 — gather the visited GLS strip values (all of them
+            // when the walk ended at the border, all but the terminal when
+            // it ended on a published GS).
+            let gls_last = if term_gs { term_k - 1 } else { term_k };
+            let mut idx = [0usize; MAX_WINDOW];
+            let mut vals = [T::zero(); MAX_WINDOW];
+            let window = window.min(MAX_WINDOW);
+            let mut k0 = 1;
+            while k0 <= gls_last {
+                let c = (gls_last - k0 + 1).min(window);
+                for (m, slot) in idx[..c].iter_mut().enumerate() {
+                    *slot = self.gls.index(ti - (k0 + m), tj - (k0 + m));
+                }
+                self.gls.gather(ctx, &idx[..c], &mut vals[..c]);
+                for &v in &vals[..c] {
+                    acc = acc.add(v);
+                }
+                k0 += c;
+            }
+            if term_gs {
+                acc = acc.add(self.gs.read(ctx, ti - term_k, tj - term_k));
+            }
+            return acc;
         }
         let mut k = 1;
         loop {
@@ -271,6 +439,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
         let t = grid.t;
         let tpb = self.params.threads_per_block.min(gpu.config().max_threads_per_block);
         let state = State::<T>::new(grid);
+        let window = self.lookback_window.clamp(1, MAX_WINDOW);
 
         // Decoupled look-back: the wavefront advances one flag publication
         // per hop; no tile-sized service is serialized on the chain. The
@@ -301,7 +470,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 // Step 2.A: publish LRS, look back for GRS(I,J-1), publish GRS.
                 state.lrs.write_vec(ctx, ti, tj, &lrs_v);
                 state.r_flags.publish(ctx, idx, R_LRS);
-                let grs_left = state.look_back_grs(ctx, ti, tj, self.decoupled);
+                let grs_left = state.look_back_grs(ctx, ti, tj, self.decoupled, window);
                 let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
                 grs_cur.copy_from_slice(&lrs_v);
                 for (a, b) in grs_cur.iter_mut().zip(&grs_left) {
@@ -314,7 +483,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 // Step 2.B: the same for columns.
                 state.lcs.write_vec(ctx, ti, tj, &lcs_v);
                 state.c_flags.publish(ctx, idx, C_LCS);
-                let gcs_top = state.look_back_gcs(ctx, ti, tj, self.decoupled);
+                let gcs_top = state.look_back_gcs(ctx, ti, tj, self.decoupled, window);
                 let mut gcs_cur = lcs_v;
                 for (a, b) in gcs_cur.iter_mut().zip(&gcs_top) {
                     *a = a.add(*b);
@@ -333,7 +502,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
 
                 // Steps 3.2 / 3.3: look back diagonally for GS(I-1,J-1),
                 // publish GS(I,J).
-                let gs_prev = state.look_back_gs(ctx, ti, tj, self.decoupled);
+                let gs_prev = state.look_back_gs(ctx, ti, tj, self.decoupled, window);
                 state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
                 state.r_flags.publish(ctx, idx, R_GS);
 
@@ -508,6 +677,33 @@ mod tests {
         assert_eq!(diag.total_stats().bank_conflict_cycles, 0);
         assert!(rm.total_stats().bank_conflict_cycles > 0);
         assert_eq!(diag.total_reads(), rm.total_reads(), "global traffic identical");
+    }
+
+    #[test]
+    fn lookback_window_is_counter_invariant() {
+        // The window only changes host-side transaction granularity:
+        // results and deterministic counters must be identical at every
+        // setting, sequential and concurrent.
+        let a = Matrix::<u64>::random(48, 48, 61, 10);
+        let expect = reference::sat(&a);
+        let gpu = Gpu::new(DeviceConfig::tiny());
+        let mut base = None;
+        for win in [1usize, 4, 8, 16] {
+            let (got, run) = compute_sat(&gpu, &alg(4).with_lookback_window(win), &a);
+            assert_eq!(got, expect, "window={win}");
+            let stats = run.total_stats().deterministic();
+            match &base {
+                None => base = Some(stats),
+                Some(b) => assert_eq!(&stats, b, "window={win}"),
+            }
+        }
+        for win in [1usize, 8, 16] {
+            let gpu = Gpu::new(DeviceConfig::tiny())
+                .with_mode(ExecMode::Concurrent)
+                .with_dispatch(DispatchOrder::Random(62));
+            let (got, _) = compute_sat(&gpu, &alg(4).with_lookback_window(win), &a);
+            assert_eq!(got, expect, "concurrent window={win}");
+        }
     }
 
     #[test]

@@ -244,6 +244,44 @@ impl<T: DeviceElem> VecAux<T> {
         self.buf.store_row(ctx, self.base(ti, tj), v);
     }
 
+    /// Windowed bulk read along a tile row: the vectors of tiles
+    /// `(ti, tj_lo), (ti, tj_lo+1), ..` — contiguous in this layout — packed
+    /// into `dst` (`count * w` elements, ascending `tj`). One warp
+    /// transaction accounted exactly like `count` [`VecAux::read_vec_into`]
+    /// calls.
+    pub fn read_row_window_into(&self, ctx: &mut BlockCtx, ti: usize, tj_lo: usize, count: usize, dst: &mut [T]) {
+        assert_eq!(dst.len(), count * self.grid.w);
+        self.buf.load_row(ctx, self.base(ti, tj_lo), dst);
+    }
+
+    /// Windowed bulk read along a tile column: the vectors of tiles
+    /// `(ti_lo, tj), (ti_lo+1, tj), ..` — `t * w` apart in this layout —
+    /// packed into `dst` (`count * w` elements, ascending `ti`). One warp
+    /// transaction accounted exactly like `count` coalesced
+    /// [`VecAux::read_vec_into`] calls (each tile's vector is itself
+    /// consecutive, so the rows stay coalesced; only the inter-row stride
+    /// differs).
+    pub fn read_col_window_into(&self, ctx: &mut BlockCtx, ti_lo: usize, tj: usize, count: usize, dst: &mut [T]) {
+        assert_eq!(dst.len(), count * self.grid.w);
+        self.buf.load_2d(ctx, self.base(ti_lo, tj), self.grid.t * self.grid.w, self.grid.w, dst);
+    }
+
+    /// Windowed bulk write along a tile row — the store mirror of
+    /// [`VecAux::read_row_window_into`], accounted exactly like `count`
+    /// [`VecAux::write_vec`] calls.
+    pub fn write_row_window_from(&self, ctx: &mut BlockCtx, ti: usize, tj_lo: usize, count: usize, src: &[T]) {
+        assert_eq!(src.len(), count * self.grid.w);
+        self.buf.store_row(ctx, self.base(ti, tj_lo), src);
+    }
+
+    /// Windowed bulk write along a tile column — the store mirror of
+    /// [`VecAux::read_col_window_into`], accounted exactly like `count`
+    /// [`VecAux::write_vec`] calls.
+    pub fn write_col_window_from(&self, ctx: &mut BlockCtx, ti_lo: usize, tj: usize, count: usize, src: &[T]) {
+        assert_eq!(src.len(), count * self.grid.w);
+        self.buf.store_2d(ctx, self.base(ti_lo, tj), self.grid.t * self.grid.w, self.grid.w, src);
+    }
+
     /// Host-side read for tests.
     pub fn peek_vec(&self, ti: usize, tj: usize) -> Vec<T> {
         let base = self.base(ti, tj);
@@ -276,6 +314,20 @@ impl<T: DeviceElem> ScalarAux<T> {
     /// Accounted write of tile `(I,J)`'s scalar.
     pub fn write(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, v: T) {
         self.buf.write(ctx, self.grid.tile_index(ti, tj), v);
+    }
+
+    /// Raw buffer index of tile `(I,J)`'s scalar, for building
+    /// [`ScalarAux::gather`] index lists.
+    #[inline]
+    pub fn index(&self, ti: usize, tj: usize) -> usize {
+        self.grid.tile_index(ti, tj)
+    }
+
+    /// Batched warp gather of several tiles' scalars (indices from
+    /// [`ScalarAux::index`]); accounted exactly like one
+    /// [`ScalarAux::read`] per tile.
+    pub fn gather(&self, ctx: &mut BlockCtx, indices: &[usize], dst: &mut [T]) {
+        self.buf.gather(ctx, indices, dst);
     }
 
     /// Host-side read for tests.

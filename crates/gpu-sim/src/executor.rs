@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use crate::device::DeviceConfig;
 use crate::launch::{BlockCtx, LaunchConfig, ScratchArena};
-use crate::metrics::{CriticalPath, KernelAccumulator, KernelMetrics};
+use crate::metrics::{BlockStats, CriticalPath, KernelAccumulator, KernelMetrics};
 use crate::stream::StreamShared;
 use crate::trace::{EventKind, Tracer};
 
@@ -194,12 +194,23 @@ impl LaunchJob {
     }
 
     /// Claim and execute blocks until none remain.
+    ///
+    /// Counters and completion are batched per worker: each worker merges
+    /// its blocks' stats into a local [`BlockStats`] and performs a single
+    /// atomic absorb plus a single `finished` bump when its claim loop
+    /// exits. For small grids this removes the per-block atomic storm that
+    /// used to dominate launch overhead; totals are unchanged because
+    /// field-wise addition is associative, and exactly one worker (the one
+    /// whose bump brings `finished` to `blocks`) triggers completion.
     fn run_blocks(&self, pool: &PoolShared, arena: &mut ScratchArena) {
+        let mut local = BlockStats::default();
+        let mut ran = 0usize;
         loop {
             let k = self.cursor.fetch_add(1, Ordering::Relaxed);
             if k >= self.blocks {
                 break;
             }
+            ran += 1;
             if !self.aborted.load(Ordering::Relaxed) {
                 let block_idx = if self.order.is_empty() { k } else { self.order[k] };
                 let result = catch_unwind(AssertUnwindSafe(|| {
@@ -214,23 +225,25 @@ impl LaunchJob {
                     ctx.trace(EventKind::BlockStart);
                     self.body.call(&mut ctx);
                     ctx.trace(EventKind::BlockEnd);
-                    self.acc.absorb(&ctx.stats);
+                    std::mem::take(&mut ctx.stats)
                 }));
-                if let Err(p) = result {
-                    self.aborted.store(true, Ordering::Relaxed);
-                    let mut st = self.state.lock().unwrap();
-                    if st.panic.is_none() {
-                        st.panic = Some(p);
+                match result {
+                    Ok(stats) => local.merge(&stats),
+                    Err(p) => {
+                        self.aborted.store(true, Ordering::Relaxed);
+                        let mut st = self.state.lock().unwrap();
+                        if st.panic.is_none() {
+                            st.panic = Some(p);
+                        }
                     }
                 }
             }
-            self.note_block_done(pool);
         }
-    }
-
-    fn note_block_done(&self, pool: &PoolShared) {
-        if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.blocks {
-            self.complete(pool);
+        if ran > 0 {
+            self.acc.absorb(&local);
+            if self.finished.fetch_add(ran, Ordering::AcqRel) + ran == self.blocks {
+                self.complete(pool);
+            }
         }
     }
 
@@ -304,17 +317,33 @@ struct QueueState {
 pub(crate) struct PoolShared {
     queue: Mutex<QueueState>,
     ready: Condvar,
+    /// Number of worker threads parked on `ready` (fixed at pool startup);
+    /// lets `submit` wake only as many workers as a small job can use.
+    workers: usize,
 }
 
 impl PoolShared {
     /// Enqueue a job for the workers (`blocks` must be non-zero; empty
     /// launches complete inline without touching the pool).
+    ///
+    /// Wakes `min(blocks, workers)` threads: a grid with fewer blocks than
+    /// the pool has workers cannot use more, and the full `notify_all`
+    /// wake storm (every worker waking, contending the queue lock, and
+    /// parking again) used to cost more than the launch itself for tiny
+    /// grids.
     pub(crate) fn submit(&self, job: Arc<LaunchJob>) {
         debug_assert!(job.blocks > 0, "zero-block jobs complete inline");
+        let wake = job.blocks.min(self.workers);
         let mut q = self.queue.lock().unwrap();
         q.jobs.push_back(job);
         drop(q);
-        self.ready.notify_all();
+        if wake >= self.workers {
+            self.ready.notify_all();
+        } else {
+            for _ in 0..wake {
+                self.ready.notify_one();
+            }
+        }
     }
 
     /// Submit and block until the job completes: a synchronous launch.
@@ -369,7 +398,11 @@ impl WorkerPool {
     pub(crate) fn new(cfg: &DeviceConfig, ordinal: usize) -> Self {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let workers = cfg.host_workers.max(1).min(cores);
-        let shared = Arc::new(PoolShared { queue: Mutex::new(QueueState::default()), ready: Condvar::new() });
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            workers,
+        });
         let handles = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);

@@ -19,8 +19,29 @@
 //! model `cudaMemcpy` of inputs/outputs, which the paper excludes from all
 //! timings.
 
+use crate::device::WARP;
 use crate::elem::{AtomBacking, DeviceElem};
 use crate::launch::BlockCtx;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every bulk global-memory operation executes its *scalar
+/// expansion* — the per-element accessor calls it is documented to be
+/// equivalent to — instead of the batched fast path. Data movement and
+/// charged counters must come out identical either way; the counter-parity
+/// test flips this switch to prove it. Process-global because it is a test
+/// instrument, not a tuning knob.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Force (or stop forcing) the scalar expansion of every bulk operation.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// Whether bulk operations are currently forced onto their scalar paths.
+#[inline(always)]
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
 
 /// A typed allocation in simulated device global memory.
 pub struct GlobalBuffer<T: DeviceElem> {
@@ -88,16 +109,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// Read one element as part of a coalesced warp access.
     #[inline]
     pub fn read(&self, ctx: &mut BlockCtx, i: usize) -> T {
-        ctx.stats.global_reads += 1;
-        ctx.stats.bytes_read += T::BYTES;
+        ctx.stats.charge_global_read(1, T::BYTES);
         T::from_bits(self.data[i].load_bits())
     }
 
     /// Write one element as part of a coalesced warp access.
     #[inline]
     pub fn write(&self, ctx: &mut BlockCtx, i: usize, v: T) {
-        ctx.stats.global_writes += 1;
-        ctx.stats.bytes_written += T::BYTES;
+        ctx.stats.charge_global_write(1, T::BYTES);
         self.data[i].store_bits(v.to_bits());
     }
 
@@ -105,18 +124,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// row-major matrix).
     #[inline]
     pub fn read_strided(&self, ctx: &mut BlockCtx, i: usize) -> T {
-        ctx.stats.global_reads += 1;
-        ctx.stats.strided_reads += 1;
-        ctx.stats.bytes_read += ctx.strided_bytes(T::BYTES);
+        ctx.stats.charge_strided_read(1, ctx.strided_bytes(T::BYTES));
         T::from_bits(self.data[i].load_bits())
     }
 
     /// Write one element as part of a strided warp access.
     #[inline]
     pub fn write_strided(&self, ctx: &mut BlockCtx, i: usize, v: T) {
-        ctx.stats.global_writes += 1;
-        ctx.stats.strided_writes += 1;
-        ctx.stats.bytes_written += ctx.strided_bytes(T::BYTES);
+        ctx.stats.charge_strided_write(1, ctx.strided_bytes(T::BYTES));
         self.data[i].store_bits(v.to_bits());
     }
 
@@ -125,27 +140,41 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// [`DeviceElem::load_slice`], a `memcpy` for the built-in element
     /// types (see the data-race contract in [`crate::elem`]).
     pub fn load_row(&self, ctx: &mut BlockCtx, offset: usize, dst: &mut [T]) {
+        if force_scalar() {
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = self.read(ctx, offset + k);
+            }
+            return;
+        }
         let n = dst.len() as u64;
-        ctx.stats.global_reads += n;
-        ctx.stats.bytes_read += n * T::BYTES;
+        ctx.stats.charge_global_read(n, n * T::BYTES);
         T::load_slice(&self.data[offset..offset + dst.len()], dst);
     }
 
     /// Coalesced bulk write of consecutive elements starting at `offset`.
     pub fn store_row(&self, ctx: &mut BlockCtx, offset: usize, src: &[T]) {
+        if force_scalar() {
+            for (k, &v) in src.iter().enumerate() {
+                self.write(ctx, offset + k, v);
+            }
+            return;
+        }
         let n = src.len() as u64;
-        ctx.stats.global_writes += n;
-        ctx.stats.bytes_written += n * T::BYTES;
+        ctx.stats.charge_global_write(n, n * T::BYTES);
         T::store_slice(&self.data[offset..offset + src.len()], src);
     }
 
     /// Strided bulk read: `dst.len()` elements at `start`, `start+stride`,
     /// `start+2*stride`, ...
     pub fn load_col(&self, ctx: &mut BlockCtx, start: usize, stride: usize, dst: &mut [T]) {
+        if force_scalar() {
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = self.read_strided(ctx, start + k * stride.max(1));
+            }
+            return;
+        }
         let n = dst.len() as u64;
-        ctx.stats.global_reads += n;
-        ctx.stats.strided_reads += n;
-        ctx.stats.bytes_read += n * ctx.strided_bytes(T::BYTES);
+        ctx.stats.charge_strided_read(n, n * ctx.strided_bytes(T::BYTES));
         if dst.is_empty() {
             return;
         }
@@ -157,10 +186,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
 
     /// Strided bulk write, the mirror of [`GlobalBuffer::load_col`].
     pub fn store_col(&self, ctx: &mut BlockCtx, start: usize, stride: usize, src: &[T]) {
+        if force_scalar() {
+            for (k, &v) in src.iter().enumerate() {
+                self.write_strided(ctx, start + k * stride.max(1), v);
+            }
+            return;
+        }
         let n = src.len() as u64;
-        ctx.stats.global_writes += n;
-        ctx.stats.strided_writes += n;
-        ctx.stats.bytes_written += n * ctx.strided_bytes(T::BYTES);
+        ctx.stats.charge_strided_write(n, n * ctx.strided_bytes(T::BYTES));
         if src.is_empty() {
             return;
         }
@@ -176,9 +209,16 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// `rows` [`GlobalBuffer::load_row`] calls charged in one bump.
     pub fn load_2d(&self, ctx: &mut BlockCtx, offset: usize, stride: usize, row_len: usize, dst: &mut [T]) {
         assert_eq!(dst.len() % row_len.max(1), 0, "dst must hold whole rows");
+        if force_scalar() {
+            for (r, chunk) in dst.chunks_exact_mut(row_len.max(1)).enumerate() {
+                for (k, d) in chunk.iter_mut().enumerate() {
+                    *d = self.read(ctx, offset + r * stride + k);
+                }
+            }
+            return;
+        }
         let n = dst.len() as u64;
-        ctx.stats.global_reads += n;
-        ctx.stats.bytes_read += n * T::BYTES;
+        ctx.stats.charge_global_read(n, n * T::BYTES);
         for (r, chunk) in dst.chunks_exact_mut(row_len.max(1)).enumerate() {
             let base = offset + r * stride;
             T::load_slice(&self.data[base..base + chunk.len()], chunk);
@@ -188,12 +228,74 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// Coalesced 2-D bulk write, the mirror of [`GlobalBuffer::load_2d`].
     pub fn store_2d(&self, ctx: &mut BlockCtx, offset: usize, stride: usize, row_len: usize, src: &[T]) {
         assert_eq!(src.len() % row_len.max(1), 0, "src must hold whole rows");
+        if force_scalar() {
+            for (r, chunk) in src.chunks_exact(row_len.max(1)).enumerate() {
+                for (k, &v) in chunk.iter().enumerate() {
+                    self.write(ctx, offset + r * stride + k, v);
+                }
+            }
+            return;
+        }
         let n = src.len() as u64;
-        ctx.stats.global_writes += n;
-        ctx.stats.bytes_written += n * T::BYTES;
+        ctx.stats.charge_global_write(n, n * T::BYTES);
         for (r, chunk) in src.chunks_exact(row_len.max(1)).enumerate() {
             let base = offset + r * stride;
             T::store_slice(&self.data[base..base + chunk.len()], chunk);
+        }
+    }
+
+    /// Batched warp gather: `dst[k] = self[indices[k]]`. Charged exactly
+    /// like `indices.len()` scalar [`GlobalBuffer::read`] calls, with one
+    /// contiguity classification per warp-sized chunk of the index slice
+    /// (instead of per element) selecting between a `memcpy` fast path and
+    /// an element loop. The caller decides coalesced-vs-strided semantics
+    /// by choosing this or a `load_col`, exactly as with the scalar
+    /// accessors.
+    pub fn gather(&self, ctx: &mut BlockCtx, indices: &[usize], dst: &mut [T]) {
+        assert_eq!(indices.len(), dst.len(), "gather length mismatch");
+        if force_scalar() {
+            for (d, &i) in dst.iter_mut().zip(indices) {
+                *d = self.read(ctx, i);
+            }
+            return;
+        }
+        let n = indices.len() as u64;
+        ctx.stats.charge_global_read(n, n * T::BYTES);
+        for (idx, out) in indices.chunks(WARP).zip(dst.chunks_mut(WARP)) {
+            let first = idx[0];
+            if idx.iter().enumerate().all(|(k, &i)| i == first + k) {
+                T::load_slice(&self.data[first..first + idx.len()], out);
+            } else {
+                for (d, &i) in out.iter_mut().zip(idx) {
+                    *d = T::from_bits(self.data[i].load_bits());
+                }
+            }
+        }
+    }
+
+    /// Batched warp scatter: `self[indices[k]] = src[k]`, the mirror of
+    /// [`GlobalBuffer::gather`]. Indices within one warp chunk must be
+    /// distinct (a real warp scatter to a duplicated address has undefined
+    /// winner; callers in the simulator never do it).
+    pub fn scatter(&self, ctx: &mut BlockCtx, indices: &[usize], src: &[T]) {
+        assert_eq!(indices.len(), src.len(), "scatter length mismatch");
+        if force_scalar() {
+            for (&v, &i) in src.iter().zip(indices) {
+                self.write(ctx, i, v);
+            }
+            return;
+        }
+        let n = indices.len() as u64;
+        ctx.stats.charge_global_write(n, n * T::BYTES);
+        for (idx, vals) in indices.chunks(WARP).zip(src.chunks(WARP)) {
+            let first = idx[0];
+            if idx.iter().enumerate().all(|(k, &i)| i == first + k) {
+                T::store_slice(&self.data[first..first + idx.len()], vals);
+            } else {
+                for (&v, &i) in vals.iter().zip(idx) {
+                    self.data[i].store_bits(v.to_bits());
+                }
+            }
         }
     }
 
@@ -201,8 +303,13 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// `offset` with `v`. Charges exactly like a `store_row` of `len`
     /// elements (each thread writes one coalesced element).
     pub fn fill(&self, ctx: &mut BlockCtx, offset: usize, len: usize, v: T) {
-        ctx.stats.global_writes += len as u64;
-        ctx.stats.bytes_written += len as u64 * T::BYTES;
+        if force_scalar() {
+            for k in 0..len {
+                self.write(ctx, offset + k, v);
+            }
+            return;
+        }
+        ctx.stats.charge_global_write(len as u64, len as u64 * T::BYTES);
         T::fill_slice(&self.data[offset..offset + len], v);
     }
 
@@ -219,11 +326,16 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         src_offset: usize,
         len: usize,
     ) {
+        if force_scalar() {
+            for k in 0..len {
+                let v = src.read(ctx, src_offset + k);
+                self.write(ctx, dst_offset + k, v);
+            }
+            return;
+        }
         let n = len as u64;
-        ctx.stats.global_reads += n;
-        ctx.stats.bytes_read += n * T::BYTES;
-        ctx.stats.global_writes += n;
-        ctx.stats.bytes_written += n * T::BYTES;
+        ctx.stats.charge_global_read(n, n * T::BYTES);
+        ctx.stats.charge_global_write(n, n * T::BYTES);
         T::copy_slice(&self.data[dst_offset..dst_offset + len], &src.data[src_offset..src_offset + len]);
     }
 
@@ -236,11 +348,16 @@ impl<T: DeviceElem> GlobalBuffer<T> {
             src_offset + len <= dst_offset || dst_offset + len <= src_offset || len == 0,
             "copy_within ranges [{src_offset}, +{len}) and [{dst_offset}, +{len}) overlap"
         );
+        if force_scalar() {
+            for k in 0..len {
+                let v = self.read(ctx, src_offset + k);
+                self.write(ctx, dst_offset + k, v);
+            }
+            return;
+        }
         let n = len as u64;
-        ctx.stats.global_reads += n;
-        ctx.stats.bytes_read += n * T::BYTES;
-        ctx.stats.global_writes += n;
-        ctx.stats.bytes_written += n * T::BYTES;
+        ctx.stats.charge_global_read(n, n * T::BYTES);
+        ctx.stats.charge_global_write(n, n * T::BYTES);
         T::copy_slice(&self.data[dst_offset..dst_offset + len], &self.data[src_offset..src_offset + len]);
     }
 
@@ -410,6 +527,70 @@ mod tests {
         assert_eq!(m.stats.bytes_written, 12 * 4);
         assert_eq!(b.host_read(5 * 8 + 4), 17);
         assert_eq!(b.host_read(7 * 8 + 7), 36);
+    }
+
+    #[test]
+    fn gather_scatter_match_scalar_expansion() {
+        let g = gpu();
+        let b = GlobalBuffer::from_slice(&(0..128u32).map(|v| v * 3).collect::<Vec<_>>());
+        let out = GlobalBuffer::<u32>::zeroed(128);
+        // Mixed pattern: one contiguous warp chunk, one diagonal-strided
+        // chunk, plus a partial tail — both classification branches run.
+        let mut indices: Vec<usize> = (8..40).collect();
+        indices.extend((0..32).map(|k| k * 3));
+        indices.extend([5usize, 99, 17]);
+        let run = |scalar: bool| {
+            set_force_scalar(scalar);
+            let m = g.launch(LaunchConfig::new("gs", 1, 32), |ctx| {
+                let mut vals = vec![0u32; indices.len()];
+                b.gather(ctx, &indices, &mut vals);
+                for (k, &i) in indices.iter().enumerate() {
+                    assert_eq!(vals[k], (i as u32) * 3);
+                }
+                let dsts: Vec<usize> = indices.iter().map(|&i| 127 - i).collect();
+                out.scatter(ctx, &dsts, &vals);
+            });
+            set_force_scalar(false);
+            m.stats.deterministic()
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        assert_eq!(batched, scalar);
+        assert_eq!(batched.global_reads, 67);
+        assert_eq!(batched.global_writes, 67);
+        assert_eq!(batched.bytes_read, 67 * 4);
+        for &i in &indices {
+            assert_eq!(out.host_read(127 - i), (i as u32) * 3);
+        }
+    }
+
+    #[test]
+    fn force_scalar_bulk_ops_charge_identically() {
+        let g = gpu();
+        let b = GlobalBuffer::from_slice(&(0..256u32).collect::<Vec<_>>());
+        let dst = GlobalBuffer::<u32>::zeroed(256);
+        let body = |ctx: &mut BlockCtx| {
+            let mut row = vec![0u32; 24];
+            b.load_row(ctx, 3, &mut row);
+            dst.store_row(ctx, 10, &row);
+            let mut col = vec![0u32; 7];
+            b.load_col(ctx, 2, 16, &mut col);
+            dst.store_col(ctx, 4, 16, &col);
+            let mut tile = vec![0u32; 12];
+            b.load_2d(ctx, 17, 16, 4, &mut tile);
+            dst.store_2d(ctx, 33, 16, 4, &tile);
+            dst.fill(ctx, 100, 9, 7);
+            dst.copy_from(ctx, 120, &b, 60, 11);
+            dst.copy_within(ctx, 120, 140, 11);
+        };
+        let batched = g.launch(LaunchConfig::new("bulk", 1, 32), body);
+        let snapshot = dst.to_vec();
+        dst.host_fill(0);
+        set_force_scalar(true);
+        let scalar = g.launch(LaunchConfig::new("scalar", 1, 32), body);
+        set_force_scalar(false);
+        assert_eq!(batched.stats.deterministic(), scalar.stats.deterministic());
+        assert_eq!(dst.to_vec(), snapshot);
     }
 
     #[test]

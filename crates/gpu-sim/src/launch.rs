@@ -560,6 +560,46 @@ impl Gpu {
                         host_seconds: 0.0,
                     };
                 }
+                // A one-block grid has no cross-block concurrency to
+                // exercise: run it inline on the caller thread and skip
+                // the submit/wake/park round-trip through the pool
+                // entirely. Observable behavior is unchanged — same body,
+                // same counters, panics propagate to the caller either
+                // way — and `is_sequential()` stays false so soft-sync
+                // waits keep their concurrent-mode semantics.
+                if lc.blocks == 1 {
+                    let acc = KernelAccumulator::default();
+                    let start = Instant::now();
+                    let mut local = ScratchArena::new();
+                    let mut guard = self.engine.seq_arena.try_lock();
+                    let arena: &mut ScratchArena = match guard {
+                        Ok(ref mut g) => g,
+                        Err(_) => &mut local,
+                    };
+                    let mut ctx = BlockCtx {
+                        block_idx: 0,
+                        threads_per_block: lc.threads_per_block,
+                        sequential: false,
+                        cfg: &self.cfg,
+                        tracer,
+                        arena,
+                        abort: None,
+                        stats: BlockStats::default(),
+                    };
+                    ctx.trace(EventKind::BlockStart);
+                    body(&mut ctx);
+                    ctx.trace(EventKind::BlockEnd);
+                    acc.absorb(&ctx.stats);
+                    return KernelMetrics {
+                        label: lc.label,
+                        blocks: 1,
+                        threads_per_block: lc.threads_per_block,
+                        stats: acc.snapshot(),
+                        critical_path: lc.critical_path,
+                        ilp: lc.ilp,
+                        host_seconds: start.elapsed().as_secs_f64(),
+                    };
+                }
                 // Hand the launch to the persistent worker pool: warm
                 // threads (and their scratch arenas) pick blocks off a
                 // shared cursor, the caller parks on the job's completion

@@ -63,6 +63,61 @@ pub struct BlockStats {
     pub warp_shuffles: u64,
 }
 
+/// The *accounting sink* (see `DESIGN.md`, "warp-transaction accounting
+/// contract"): every accounted memory or shuffle operation — scalar or
+/// batched — funnels its counter updates through exactly one of these
+/// charge methods. A batched operation over `k` elements calls the same
+/// method its scalar expansion would call `k` times, with the element and
+/// byte totals pre-multiplied, so the two paths are equal by construction:
+/// there is no second accounting formula that could drift.
+impl BlockStats {
+    /// Charge `elems` coalesced global reads moving `bytes` of traffic.
+    #[inline(always)]
+    pub fn charge_global_read(&mut self, elems: u64, bytes: u64) {
+        self.global_reads += elems;
+        self.bytes_read += bytes;
+    }
+
+    /// Charge `elems` coalesced global writes moving `bytes` of traffic.
+    #[inline(always)]
+    pub fn charge_global_write(&mut self, elems: u64, bytes: u64) {
+        self.global_writes += elems;
+        self.bytes_written += bytes;
+    }
+
+    /// Charge `elems` strided global reads with `bytes` of effective
+    /// traffic (already inflated by the device's strided penalty).
+    #[inline(always)]
+    pub fn charge_strided_read(&mut self, elems: u64, bytes: u64) {
+        self.global_reads += elems;
+        self.strided_reads += elems;
+        self.bytes_read += bytes;
+    }
+
+    /// Charge `elems` strided global writes with `bytes` of effective
+    /// traffic.
+    #[inline(always)]
+    pub fn charge_strided_write(&mut self, elems: u64, bytes: u64) {
+        self.global_writes += elems;
+        self.strided_writes += elems;
+        self.bytes_written += bytes;
+    }
+
+    /// Charge `elems` shared-memory accesses plus `conflict_cycles` extra
+    /// serialized cycles from bank conflicts.
+    #[inline(always)]
+    pub fn charge_shared(&mut self, elems: u64, conflict_cycles: u64) {
+        self.shared_accesses += elems;
+        self.bank_conflict_cycles += conflict_cycles;
+    }
+
+    /// Charge `count` warp shuffle lane-exchanges.
+    #[inline(always)]
+    pub fn charge_shuffles(&mut self, count: u64) {
+        self.warp_shuffles += count;
+    }
+}
+
 impl BlockStats {
     /// Merge `other` into `self` by field-wise addition.
     pub fn merge(&mut self, other: &BlockStats) {
@@ -115,7 +170,9 @@ pub struct KernelAccumulator {
 }
 
 impl KernelAccumulator {
-    /// Flush a finished block's counters. Called once per block.
+    /// Flush finished block counters — one block's, or a worker's
+    /// field-wise merge of all the blocks it ran (addition is associative,
+    /// so batching cannot change the totals).
     pub fn absorb(&self, s: &BlockStats) {
         self.global_reads.fetch_add(s.global_reads, Ordering::Relaxed);
         self.global_writes.fetch_add(s.global_writes, Ordering::Relaxed);

@@ -159,14 +159,15 @@ impl<T: DeviceElem> SharedTile<T> {
     }
 
     /// Charge `elems` shared accesses performed with warp accesses of the
-    /// given conflict degree.
+    /// given conflict degree. Routed through the
+    /// [`BlockStats`](crate::metrics::BlockStats) accounting sink (see
+    /// DESIGN.md, "Warp-transaction accounting contract").
     #[inline]
     fn account(ctx: &mut BlockCtx, elems: u64, degree: u64) {
-        ctx.stats.shared_accesses += elems;
         // Each warp access of `degree`-way conflict serializes into
         // `degree` cycles; charge the extra `degree - 1` per warp.
         let warps = elems.div_ceil(WARP as u64);
-        ctx.stats.bank_conflict_cycles += warps * (degree - 1);
+        ctx.stats.charge_shared(elems, warps * (degree - 1));
     }
 
     /// Charge `rows` separate warp accesses of `row_len` elements each at
@@ -175,22 +176,21 @@ impl<T: DeviceElem> SharedTile<T> {
     /// warp of each row is charged per row, not amortized across rows).
     #[inline]
     fn account_rows(ctx: &mut BlockCtx, rows: u64, row_len: u64, degree: u64) {
-        ctx.stats.shared_accesses += rows * row_len;
         let warps_per_row = row_len.div_ceil(WARP as u64);
-        ctx.stats.bank_conflict_cycles += rows * warps_per_row * (degree - 1);
+        ctx.stats.charge_shared(rows * row_len, rows * warps_per_row * (degree - 1));
     }
 
     /// Scalar read (accounted, assumed conflict-free).
     #[inline]
     pub fn get(&self, ctx: &mut BlockCtx, i: usize, j: usize) -> T {
-        ctx.stats.shared_accesses += 1;
+        ctx.stats.charge_shared(1, 0);
         self.data[self.offset(i, j)]
     }
 
     /// Scalar write (accounted, assumed conflict-free).
     #[inline]
     pub fn set(&mut self, ctx: &mut BlockCtx, i: usize, j: usize, v: T) {
-        ctx.stats.shared_accesses += 1;
+        ctx.stats.charge_shared(1, 0);
         let off = self.offset(i, j);
         self.data[off] = v;
     }

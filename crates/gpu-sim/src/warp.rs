@@ -14,9 +14,16 @@ use crate::launch::BlockCtx;
 /// Simulated `__shfl_up_sync`: every lane `i` receives the value of lane
 /// `i - delta`; lanes with `i < delta` keep their own value (CUDA returns
 /// the source lane's own value unchanged in that case).
+///
+/// Accounting is exact: a `delta == 0` shuffle (every lane reads itself)
+/// and an empty lane slice exchange nothing and charge nothing; any real
+/// shuffle charges one exchange per participating lane.
 pub fn shfl_up<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T], delta: usize) {
     assert!(lanes.len() <= WARP, "a warp has at most {WARP} lanes");
-    ctx.stats.warp_shuffles += lanes.len() as u64;
+    if delta == 0 || lanes.is_empty() {
+        return;
+    }
+    ctx.stats.charge_shuffles(lanes.len() as u64);
     for i in (delta..lanes.len()).rev() {
         lanes[i] = lanes[i - delta];
     }
@@ -29,24 +36,36 @@ pub fn shfl_up<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T], delta: usize)
 /// for j in 0..log2(w):
 ///     lanes with i >= 2^j do a[i] += a[i - 2^j]
 /// ```
+///
+/// Each step charges one shuffle per live lane (per-step accounting), and
+/// works from a pre-step snapshot so the inner loop is a forward slice zip
+/// the compiler can vectorize. The result is bit-identical to the naive
+/// in-place descending loop: that loop also only ever reads pre-step
+/// values, because lane `i - 2^j` is updated after lane `i`.
 pub fn warp_inclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T]) {
     assert!(lanes.len() <= WARP, "a warp has at most {WARP} lanes");
     let n = lanes.len();
+    let mut snap = [T::zero(); WARP];
     let mut d = 1;
     while d < n {
-        ctx.stats.warp_shuffles += n as u64;
-        for i in (d..n).rev() {
-            lanes[i] = lanes[i].add(lanes[i - d]);
+        ctx.stats.charge_shuffles(n as u64);
+        snap[..n].copy_from_slice(lanes);
+        for ((out, hi), lo) in lanes[d..].iter_mut().zip(&snap[d..n]).zip(&snap[..n - d]) {
+            *out = hi.add(*lo);
         }
         d <<= 1;
     }
 }
 
 /// Simulated `__shfl_down_sync`: every lane `i` receives the value of lane
-/// `i + delta`; lanes past the end keep their own value.
+/// `i + delta`; lanes past the end keep their own value. Accounting is
+/// exact in the sense of [`shfl_up`].
 pub fn shfl_down<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T], delta: usize) {
     assert!(lanes.len() <= WARP, "a warp has at most {WARP} lanes");
-    ctx.stats.warp_shuffles += lanes.len() as u64;
+    if delta == 0 || lanes.is_empty() {
+        return;
+    }
+    ctx.stats.charge_shuffles(lanes.len() as u64);
     let n = lanes.len();
     for i in 0..n.saturating_sub(delta) {
         lanes[i] = lanes[i + delta];
@@ -60,7 +79,7 @@ pub fn warp_exclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T]) {
         return;
     }
     warp_inclusive_scan(ctx, lanes);
-    ctx.stats.warp_shuffles += lanes.len() as u64;
+    ctx.stats.charge_shuffles(lanes.len() as u64);
     for i in (1..lanes.len()).rev() {
         lanes[i] = lanes[i - 1];
     }
@@ -73,7 +92,7 @@ pub fn warp_exclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T]) {
 pub fn warp_reduce_sum<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &[T]) -> T {
     assert!(lanes.len() <= WARP, "a warp has at most {WARP} lanes");
     let steps = usize::BITS - (lanes.len().max(1) - 1).leading_zeros();
-    ctx.stats.warp_shuffles += steps as u64 * lanes.len() as u64;
+    ctx.stats.charge_shuffles(steps as u64 * lanes.len() as u64);
     let mut acc = T::zero();
     for &v in lanes {
         acc = acc.add(v);
@@ -165,6 +184,44 @@ mod tests {
         });
         // log2(32) = 5 steps, each touching all 32 lanes.
         assert_eq!(m.stats.warp_shuffles, 5 * 32);
+    }
+
+    #[test]
+    fn kogge_stone_charges_steps_times_live_lanes() {
+        // Exact charge of the scan: ceil(log2(n)) steps, each charging one
+        // shuffle per live lane — nothing for n <= 1 (no steps run).
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+        for n in [0usize, 1, 2, 3, 8, 31, 32] {
+            let m = gpu.launch(LaunchConfig::new("t", 1, 32), |ctx| {
+                let mut lanes = vec![1u32; n];
+                warp_inclusive_scan(ctx, &mut lanes);
+            });
+            let steps = if n <= 1 { 0 } else { (usize::BITS - (n - 1).leading_zeros()) as u64 };
+            assert_eq!(m.stats.warp_shuffles, steps * n as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shfl_charges_are_exact() {
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+        // delta = 0 moves nothing and must charge nothing; an empty slice
+        // likewise; a real shuffle charges one exchange per lane.
+        let m = gpu.launch(LaunchConfig::new("t", 1, 32), |ctx| {
+            let mut lanes: Vec<u32> = (0..8).collect();
+            shfl_up(ctx, &mut lanes, 0);
+            shfl_down(ctx, &mut lanes, 0);
+            assert_eq!(lanes, (0..8).collect::<Vec<u32>>());
+            let mut empty: Vec<u32> = Vec::new();
+            shfl_up(ctx, &mut empty, 3);
+            shfl_down(ctx, &mut empty, 3);
+        });
+        assert_eq!(m.stats.warp_shuffles, 0);
+        let m = gpu.launch(LaunchConfig::new("t", 1, 32), |ctx| {
+            let mut lanes = [7u32; 8];
+            shfl_up(ctx, &mut lanes, 2);
+            shfl_down(ctx, &mut lanes, 5);
+        });
+        assert_eq!(m.stats.warp_shuffles, 2 * 8);
     }
 
     #[test]

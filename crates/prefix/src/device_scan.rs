@@ -141,9 +141,20 @@ fn local_scan<T: DeviceElem>(ctx: &mut BlockCtx, vals: &mut [T]) {
     }
 }
 
+/// Look-back window: once the flag walk has located the terminal, up to
+/// this many predecessor aggregates move in one bulk transaction.
+const LOOKBACK_WINDOW: usize = 8;
+
 /// The decoupled look-back walk: returns the exclusive prefix of tile
 /// `vid` by summing predecessor aggregates until a published inclusive
 /// prefix short-circuits the walk.
+///
+/// Windowed (same technique as SKSS-LB's walks): the flag walk observes
+/// exactly the statuses the scalar loop would, then the located
+/// predecessors' aggregates — contiguous in the `aggregates` array — are
+/// slurped [`LOOKBACK_WINDOW`] at a time. Accumulation keeps the walk's
+/// descending-`j` order (bit-identical for floats) and every charge hits
+/// the same accounting-sink methods as the scalar expansion.
 fn look_back<T: DeviceElem>(
     ctx: &mut BlockCtx,
     vid: usize,
@@ -152,20 +163,54 @@ fn look_back<T: DeviceElem>(
     prefixes: &GlobalBuffer<T>,
 ) -> T {
     let mut acc = T::zero();
+    if gpu_sim::global::force_scalar() {
+        let mut j = vid - 1;
+        loop {
+            let st = status.wait_at_least(ctx, j, STATUS_AGGREGATE);
+            if st >= STATUS_PREFIX {
+                return acc.add(prefixes.read(ctx, j));
+            }
+            acc = acc.add(aggregates.read(ctx, j));
+            if j == 0 {
+                // Tile 0 always publishes STATUS_PREFIX, so reaching here
+                // with only an aggregate means j > 0 still; guard anyway.
+                return acc;
+            }
+            j -= 1;
+        }
+    }
+    // Phase 1 — flag walk, identical observations to the scalar loop.
     let mut j = vid - 1;
-    loop {
+    let (term_j, term_prefix) = loop {
         let st = status.wait_at_least(ctx, j, STATUS_AGGREGATE);
         if st >= STATUS_PREFIX {
-            return acc.add(prefixes.read(ctx, j));
+            break (j, true);
         }
-        acc = acc.add(aggregates.read(ctx, j));
         if j == 0 {
-            // Tile 0 always publishes STATUS_PREFIX, so reaching here with
-            // only an aggregate means j > 0 still; guard regardless.
-            return acc;
+            break (0, false);
         }
         j -= 1;
+    };
+    // Phase 2 — bulk loads. Aggregates of the visited non-terminal tiles
+    // (plus tile 0's when the walk bottomed out) in window-sized chunks,
+    // descending; then the terminal inclusive prefix.
+    let lo = if term_prefix { term_j + 1 } else { term_j };
+    let mut buf: Vec<T> = ctx.scratch_overwrite(LOOKBACK_WINDOW);
+    let mut hi = vid;
+    while hi > lo {
+        let c = (hi - lo).min(LOOKBACK_WINDOW);
+        let chunk = &mut buf[..c];
+        aggregates.load_row(ctx, hi - c, chunk);
+        for &v in chunk.iter().rev() {
+            acc = acc.add(v);
+        }
+        hi -= c;
     }
+    ctx.recycle(buf);
+    if term_prefix {
+        acc = acc.add(prefixes.read(ctx, term_j));
+    }
+    acc
 }
 
 #[cfg(test)]

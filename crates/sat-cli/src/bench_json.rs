@@ -123,6 +123,15 @@ pub struct Config {
     /// Throughput mode: device counts for the multi-device scaling sweep
     /// (empty = skip it).
     pub devices: Vec<usize>,
+    /// Minimum acceptable `melem_s` ratio against the baseline per sweep
+    /// point. Any point below the floor sets `perf_floor_regression` in
+    /// the document (and fails the CLI). Only meaningful with `--baseline`.
+    pub perf_floor: f64,
+    /// Minimum acceptable concurrent/sequential `melem_s` ratio per
+    /// `(alg, n)` measured in the *same* run. The concurrent executor
+    /// exists to be no slower than the sequential loop (modulo pool
+    /// overhead); a point below the floor sets `concurrent_regression`.
+    pub conc_floor: f64,
 }
 
 impl Default for Config {
@@ -141,6 +150,8 @@ impl Default for Config {
             batch_n: 32,
             streams: 4,
             devices: Vec::new(),
+            perf_floor: 0.9,
+            conc_floor: 0.95,
         }
     }
 }
@@ -427,6 +438,7 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     });
     let mut entries: Vec<Entry> = Vec::new();
     let mut all_counters_match = true;
+    let mut perf_floor_regression = false;
 
     for (label, alg) in sweep_roster(cfg.w) {
         if !cfg.algs.is_empty() && !cfg.algs.iter().any(|f| label.contains(f.as_str())) {
@@ -502,6 +514,15 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
                                 e.bank_conflict_cycles
                             );
                         }
+                        if bsecs / e.secs.min < cfg.perf_floor {
+                            perf_floor_regression = true;
+                            eprintln!(
+                                "perf floor: {label} n={n} {mode_name}: {:.2}x vs baseline \
+                                 (< {:.2})",
+                                bsecs / e.secs.min,
+                                cfg.perf_floor,
+                            );
+                        }
                         e.baseline_secs = Some(bsecs);
                         e.counters_match = Some(matches);
                     }
@@ -525,6 +546,33 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
         all_counters_match &= tp.counters_match;
     }
 
+    // Same-run concurrent-vs-sequential gate: at every swept (alg, n),
+    // the worker-pool executor must deliver at least `conc_floor` of the
+    // sequential loop's throughput. This pins the small-grid pool-setup
+    // overhead that once cost 10-15% at n=1024.
+    let mut concurrent_regression = false;
+    let mut conc_pairs = 0usize;
+    for e in &entries {
+        if e.mode != "concurrent" {
+            continue;
+        }
+        let Some(s) =
+            entries.iter().find(|s| s.alg == e.alg && s.n == e.n && s.mode == "sequential")
+        else {
+            continue;
+        };
+        conc_pairs += 1;
+        let ratio = e.melem_s / s.melem_s;
+        if ratio < cfg.conc_floor {
+            concurrent_regression = true;
+            eprintln!(
+                "concurrent regression: {} n={}: {:.2} vs sequential {:.2} Melem/s \
+                 ({ratio:.2}x < {:.2})",
+                e.alg, e.n, e.melem_s, s.melem_s, cfg.conc_floor,
+            );
+        }
+    }
+
     let mut doc = String::new();
     doc.push_str("{\n");
     doc.push_str("\"schema\":\"sat-bench/1\",\n");
@@ -535,6 +583,18 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     doc.push_str(&format!("\"warmup\":{},\n", cfg.warmup));
     if baseline_doc.is_some() || throughput.is_some() {
         doc.push_str(&format!("\"all_counters_match\":{all_counters_match},\n"));
+    }
+    if baseline_doc.is_some() {
+        doc.push_str(&format!(
+            "\"perf_floor\":{:.2},\"perf_floor_regression\":{perf_floor_regression},\n",
+            cfg.perf_floor
+        ));
+    }
+    if conc_pairs > 0 {
+        doc.push_str(&format!(
+            "\"conc_floor\":{:.2},\"concurrent_regression\":{concurrent_regression},\n",
+            cfg.conc_floor
+        ));
     }
     if let Some(tp) = &throughput {
         doc.push_str(&format!(
@@ -602,6 +662,97 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     doc
 }
 
+/// One parsed result line of a committed BENCH document.
+struct DocEntry {
+    alg: String,
+    n: usize,
+    mode: String,
+    melem_s: f64,
+    counters: [u64; 5],
+}
+
+/// Every `results` line of a BENCH document (lines without the full field
+/// set — header, throughput, device sweep — are skipped).
+fn parse_results(doc: &str) -> Vec<DocEntry> {
+    doc.lines()
+        .filter_map(|line| {
+            Some(DocEntry {
+                alg: json_field(line, "alg")?.to_string(),
+                n: json_field(line, "n")?.parse().ok()?,
+                mode: json_field(line, "mode")?.to_string(),
+                melem_s: json_field(line, "melem_s")?.parse().ok()?,
+                counters: [
+                    json_field(line, "reads")?.parse().ok()?,
+                    json_field(line, "writes")?.parse().ok()?,
+                    json_field(line, "bytes_read")?.parse().ok()?,
+                    json_field(line, "bytes_written")?.parse().ok()?,
+                    json_field(line, "bank_conflict_cycles")?.parse().ok()?,
+                ],
+            })
+        })
+        .collect()
+}
+
+/// `bench-compare`: offline comparison of two committed BENCH documents.
+///
+/// Unlike `--baseline` (which re-runs the sweep), this only reads the two
+/// files, so CI can gate on numbers both measured on the same host without
+/// paying for a sweep. Every `(alg, n, mode)` point present in both
+/// documents is compared: the new `melem_s` must be at least `floor` times
+/// the old, and the deterministic counters must match (exactly under
+/// sequential execution; write side and conflict cycles only under
+/// concurrent, where look-back walk depth is schedule-dependent). Points
+/// of the old document missing from the new one also count as a
+/// regression — a shrunken sweep must not pass silently.
+///
+/// Returns the human-readable report and whether anything regressed.
+pub fn compare(old_doc: &str, new_doc: &str, floor: f64) -> (String, bool) {
+    let old = parse_results(old_doc);
+    let new = parse_results(new_doc);
+    let mut out = String::new();
+    let mut regression = false;
+    let mut compared = 0usize;
+    for b in &old {
+        let Some(e) =
+            new.iter().find(|e| e.alg == b.alg && e.n == b.n && e.mode == b.mode)
+        else {
+            regression = true;
+            out.push_str(&format!(
+                "{:<12} n={:<5} {:<10} MISSING from new document\n",
+                b.alg, b.n, b.mode
+            ));
+            continue;
+        };
+        compared += 1;
+        let ratio = e.melem_s / b.melem_s;
+        let counters_ok = if e.mode == "sequential" {
+            e.counters == b.counters
+        } else {
+            e.counters[1] == b.counters[1]
+                && e.counters[3] == b.counters[3]
+                && e.counters[4] == b.counters[4]
+        };
+        let slow = ratio < floor;
+        regression |= slow || !counters_ok;
+        out.push_str(&format!(
+            "{:<12} n={:<5} {:<10} {:>9.2} -> {:>9.2} Melem/s  {ratio:.2}x{}{}\n",
+            e.alg,
+            e.n,
+            e.mode,
+            b.melem_s,
+            e.melem_s,
+            if slow { "  REGRESSION" } else { "" },
+            if counters_ok { "" } else { "  COUNTER DRIFT" },
+        ));
+    }
+    out.push_str(&format!(
+        "{compared}/{} points compared (floor {floor:.2}x): {}\n",
+        old.len(),
+        if regression { "REGRESSION" } else { "ok" }
+    ));
+    (out, regression)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +813,7 @@ mod tests {
             batch_n: 16,
             streams: 2,
             devices: Vec::new(),
+            ..Config::default()
         };
         let doc = run(&cfg, &DeviceConfig::tiny());
         assert!(doc.contains("\"throughput\":{\"images\":3,\"n\":16,\"streams\":2,"));
@@ -698,6 +850,72 @@ mod tests {
         let sweep_part = doc.split("\"devices\":2,").nth(1).unwrap();
         let scaling: f64 = json_field(sweep_part, "scaling").unwrap().parse().unwrap();
         assert!(scaling > 1.5, "2-device scaling {scaling} too low\n{doc}");
+    }
+
+    fn doc_line(alg: &str, n: usize, mode: &str, melem_s: f64, counters: [u64; 5]) -> String {
+        format!(
+            "{{\"alg\":\"{alg}\",\"n\":{n},\"mode\":\"{mode}\",\"secs\":0.1,\
+             \"melem_s\":{melem_s:.3},\"reads\":{},\"writes\":{},\"bytes_read\":{},\
+             \"bytes_written\":{},\"bank_conflict_cycles\":{}}}\n",
+            counters[0], counters[1], counters[2], counters[3], counters[4]
+        )
+    }
+
+    #[test]
+    fn compare_passes_identical_documents() {
+        let doc = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
+            + &doc_line("skss", 1024, "concurrent", 90.0, [11, 5, 44, 20, 0]);
+        let (report, regression) = compare(&doc, &doc, 0.9);
+        assert!(!regression, "{report}");
+        assert!(report.contains("2/2 points compared"));
+    }
+
+    #[test]
+    fn compare_flags_throughput_below_floor() {
+        let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let new = doc_line("skss", 1024, "sequential", 80.0, [10, 5, 40, 20, 0]);
+        let (report, regression) = compare(&old, &new, 0.9);
+        assert!(regression);
+        assert!(report.contains("REGRESSION"), "{report}");
+        // The same slowdown passes a lower floor.
+        assert!(!compare(&old, &new, 0.75).1);
+    }
+
+    #[test]
+    fn compare_flags_counter_drift_and_missing_points() {
+        let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
+            + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        // Sequential read-count drift is a regression...
+        let drift = doc_line("skss", 1024, "sequential", 100.0, [11, 5, 44, 20, 0])
+            + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let (report, regression) = compare(&old, &drift, 0.9);
+        assert!(regression);
+        assert!(report.contains("COUNTER DRIFT"), "{report}");
+        // ...but concurrent read-side drift is schedule noise, not one.
+        let old_c = doc_line("skss", 1024, "concurrent", 100.0, [10, 5, 40, 20, 0]);
+        let new_c = doc_line("skss", 1024, "concurrent", 100.0, [13, 5, 52, 20, 0]);
+        assert!(!compare(&old_c, &new_c, 0.9).1);
+        // A point that vanished from the new document is a regression.
+        let shrunk = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let (report, regression) = compare(&old, &shrunk, 0.9);
+        assert!(regression);
+        assert!(report.contains("MISSING"), "{report}");
+    }
+
+    #[test]
+    fn sweep_gates_concurrent_against_sequential() {
+        let cfg = Config {
+            sizes: vec![64],
+            w: 32,
+            reps: 1,
+            algs: vec!["duplication".into()],
+            ..Config::default()
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        assert!(doc.contains("\"concurrent_regression\":"), "doc:\n{doc}");
+        // An impossible floor must trip the flag.
+        let doc = run(&Config { conc_floor: 1e6, ..cfg }, &DeviceConfig::tiny());
+        assert!(doc.contains("\"concurrent_regression\":true"), "doc:\n{doc}");
     }
 
     #[test]

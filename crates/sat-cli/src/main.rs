@@ -33,6 +33,10 @@ fn parse_usize(args: &[String], name: &str, default: usize) -> usize {
     parse_opt(args, name).map_or(default, |v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
 }
 
+fn parse_f64(args: &[String], name: &str, default: f64) -> f64 {
+    parse_opt(args, name).map_or(default, |v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
+}
+
 fn parse_list(args: &[String], name: &str, default: &[usize]) -> Vec<usize> {
     parse_opt(args, name).map_or_else(
         || default.to_vec(),
@@ -77,7 +81,11 @@ fn usage() -> &'static str {
                            --modes sequential,concurrent,\n\
                            --algs substr,substr, --baseline FILE, --out FILE,\n\
                            --throughput [--batch N --batch-n SIDE --streams S\n\
-                                         --devices 1,2,4 (multi-device scaling sweep)]\n\
+                                         --devices 1,2,4 (multi-device scaling sweep)],\n\
+                           --perf-floor R (default 0.9, vs --baseline),\n\
+                           --conc-floor R (default 0.95, concurrent vs sequential)\n\
+       bench-compare  offline floor check of two committed BENCH_*.json files\n\
+                  usage: bench-compare OLD.json NEW.json [--floor R (default 0.9)]\n\
        all        every report above, in order"
 }
 
@@ -150,6 +158,8 @@ fn main() -> ExitCode {
                 batch_n: parse_usize(&args, "--batch-n", defaults.batch_n),
                 streams: parse_usize(&args, "--streams", defaults.streams),
                 devices: parse_list(&args, "--devices", &defaults.devices),
+                perf_floor: parse_f64(&args, "--perf-floor", defaults.perf_floor),
+                conc_floor: parse_f64(&args, "--conc-floor", defaults.conc_floor),
             };
             let doc = bench_json::run(&bcfg, gpu.config());
             match &bcfg.out {
@@ -167,6 +177,31 @@ fn main() -> ExitCode {
                 eprintln!(
                     "multi-device regression: best group below serial-equivalent modeled throughput"
                 );
+                return ExitCode::FAILURE;
+            }
+            if doc.contains("\"perf_floor_regression\":true") {
+                eprintln!("perf regression: a sweep point fell below the --perf-floor ratio");
+                return ExitCode::FAILURE;
+            }
+            if doc.contains("\"concurrent_regression\":true") {
+                eprintln!(
+                    "concurrent regression: a point fell below --conc-floor of its sequential run"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        "bench-compare" => {
+            let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: sat-cli bench-compare OLD.json NEW.json [--floor R]");
+                return ExitCode::FAILURE;
+            };
+            let read = |p: &String| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+            };
+            let floor = parse_f64(&args, "--floor", 0.9);
+            let (report, regression) = bench_json::compare(&read(old_path), &read(new_path), floor);
+            print!("{report}");
+            if regression {
                 return ExitCode::FAILURE;
             }
         }

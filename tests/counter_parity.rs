@@ -1,0 +1,101 @@
+//! Scalar-vs-batched counter parity.
+//!
+//! The warp-transaction fast paths (bulk `GlobalBuffer` transfers,
+//! `gather`/`scatter`, windowed look-back) claim to be *pure host-side*
+//! optimizations: every batched operation charges exactly what its
+//! per-element scalar expansion would charge, through the same
+//! `BlockStats` accounting-sink methods. This suite proves the claim the
+//! strong way: it flips the process-global `force_scalar` switch — which
+//! makes every bulk operation execute its scalar expansion and every
+//! windowed look-back take the scalar walk — and asserts outputs and
+//! `deterministic()` counters are identical to the batched run, for all
+//! eight algorithms, several sizes, all dispatch orders, sequential and
+//! concurrent.
+//!
+//! `force_scalar` is process-global, so everything lives in ONE `#[test]`
+//! (Rust runs tests of a binary on parallel threads; a sibling test could
+//! otherwise observe the switch mid-run — harmless for correctness, since
+//! both paths charge identically, but it would defeat the comparison).
+//!
+//! As in `scheduling_parity`, the look-back algorithms' *read* side under
+//! a concurrent schedule legitimately depends on how far the walks ran, so
+//! those runs compare the schedule-independent subset.
+
+use gpu_sim::global::{force_scalar, set_force_scalar};
+use gpu_sim::metrics::BlockStats;
+use gpu_sim::prelude::*;
+use satcore::prelude::*;
+
+const W: usize = 8;
+
+/// Resets the switch even if an assertion fires mid-run.
+struct ScalarGuard;
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        set_force_scalar(false);
+    }
+}
+
+fn run_one(
+    alg: &dyn SatAlgorithm<u32>,
+    mode: ExecMode,
+    dispatch: DispatchOrder,
+    input: &GlobalBuffer<u32>,
+    n: usize,
+    expect: &Matrix<u32>,
+    tag: &str,
+) -> BlockStats {
+    let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(mode).with_dispatch(dispatch);
+    let output = GlobalBuffer::<u32>::zeroed(n * n);
+    let run = alg.run(&gpu, input, &output, n);
+    assert_eq!(&Matrix::from_device(&output, n, n), expect, "{tag}: wrong SAT");
+    run.total_stats().deterministic()
+}
+
+#[test]
+fn batched_and_scalar_paths_charge_identically() {
+    let _guard = ScalarGuard;
+    for n in [32usize, 64] {
+        let a = Matrix::<u32>::random(n, n, 0xBA7C4 + n as u64, 16);
+        let expect = satcore::reference::sat(&a);
+        let input = a.to_device();
+        for alg in all_algorithms::<u32>(SatParams { w: W, threads_per_block: 64 }) {
+            for mode in [ExecMode::Sequential, ExecMode::Concurrent] {
+                for dispatch in
+                    [DispatchOrder::InOrder, DispatchOrder::Reversed, DispatchOrder::Random(7)]
+                {
+                    let tag = format!("{} n={n} {mode:?} {dispatch:?}", alg.name());
+                    set_force_scalar(false);
+                    let batched =
+                        run_one(alg.as_ref(), mode, dispatch, &input, n, &expect, &tag);
+                    set_force_scalar(true);
+                    assert!(force_scalar());
+                    let scalar =
+                        run_one(alg.as_ref(), mode, dispatch, &input, n, &expect, &tag);
+                    set_force_scalar(false);
+                    let lookback = batched.flag_waits > 0;
+                    if lookback && mode == ExecMode::Concurrent {
+                        // Look-back read depth is schedule-dependent;
+                        // compare the schedule-independent subset.
+                        assert_eq!(scalar.global_writes, batched.global_writes, "{tag}: writes");
+                        assert_eq!(
+                            scalar.bytes_written, batched.bytes_written,
+                            "{tag}: write bytes"
+                        );
+                        assert_eq!(
+                            scalar.bank_conflict_cycles, batched.bank_conflict_cycles,
+                            "{tag}: bank conflicts"
+                        );
+                        assert_eq!(
+                            scalar.flag_publishes, batched.flag_publishes,
+                            "{tag}: publishes"
+                        );
+                    } else {
+                        assert_eq!(scalar, batched, "{tag}: scalar expansion drifted");
+                    }
+                }
+            }
+        }
+    }
+}
