@@ -1,12 +1,21 @@
-//! Look-back window sweep for `skss_lb`: how much of the per-predecessor
-//! round-trip cost the windowed bulk loads recover, as a function of the
-//! window size `W = 1, 4, 8, 16`.
+//! Look-back window sweep for `skss_lb` and `skss_sh`: how much of the
+//! per-predecessor round-trip cost the windowed bulk loads recover, as a
+//! function of the window size `W = 1, 4, 8, 16` — and whether the answer
+//! changes when the intra-tile work moves from the shared tile to the
+//! shuffle-only register pipeline.
 //!
 //! `W = 1` is the strict per-predecessor walk (one scalar transaction per
 //! visited tile); larger windows slurp up to `W` located predecessors per
 //! bulk transaction. Charged counters are identical at every setting (see
 //! `tests/counter_parity.rs`), so any delta here is pure host-side
 //! simulation overhead — the quantity the simulator wants to minimize.
+//! Both algorithms share the inter-tile look-back machinery verbatim, so
+//! the window response should be parallel; the roughly constant factor
+//! between the `skss_lb` and `skss_sh` rows at equal `W` is the host cost
+//! of emulating the register pipeline exactly — Kogge-Stone does
+//! `w^2 log w` elementwise steps per tile where the shared-tile scan does
+//! `w^2`, so the shuffle-only variant buys its zero shared-memory traffic
+//! (a *device* win in the timing model) with more host arithmetic.
 //!
 //! The sweep runs concurrent mode with adversarial dispatch: under an
 //! in-order sequential schedule the walks are almost always one hop (the
@@ -26,18 +35,22 @@ fn main() {
         for &w in &[32usize] {
             let params = SatParams::paper(w);
             for &win in &windows {
-                let alg = SkssLb::new(params).with_lookback_window(win);
-                for (mode, tag) in [
-                    (ExecMode::Sequential, "seq"),
-                    (ExecMode::Concurrent, "conc"),
-                ] {
-                    let gpu = Gpu::new(DeviceConfig::titan_v())
-                        .with_mode(mode)
-                        .with_dispatch(DispatchOrder::Reversed);
-                    harness::case(
-                        &format!("lookback_window/n{n}_w{w}_{tag}/W{win}"),
-                        || alg.run(&gpu, &input, &output, n),
-                    );
+                let lb = SkssLb::new(params).with_lookback_window(win);
+                let sh = SkssSh::new(params).with_lookback_window(win);
+                let algs: [(&str, &dyn SatAlgorithm<u32>); 2] = [("lb", &lb), ("sh", &sh)];
+                for (alg_tag, alg) in algs {
+                    for (mode, tag) in [
+                        (ExecMode::Sequential, "seq"),
+                        (ExecMode::Concurrent, "conc"),
+                    ] {
+                        let gpu = Gpu::new(DeviceConfig::titan_v())
+                            .with_mode(mode)
+                            .with_dispatch(DispatchOrder::Reversed);
+                        harness::case(
+                            &format!("lookback_window/{alg_tag}_n{n}_w{w}_{tag}/W{win}"),
+                            || alg.run(&gpu, &input, &output, n),
+                        );
+                    }
                 }
             }
         }

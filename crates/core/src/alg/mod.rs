@@ -1,4 +1,5 @@
-//! The seven SAT algorithms of the paper's Table I, behind one trait.
+//! The SAT algorithms of the paper's Table I (plus follow-on variants),
+//! behind one trait.
 //!
 //! | module | paper name | kernels | parallelism | traffic |
 //! |--------|-----------|---------|-------------|---------|
@@ -10,6 +11,7 @@
 //! | [`hybrid`] | (1+r)R1W \[14\] | `~2(1-sqrt r)n/W + 5` | medium | `(1+r)n^2` R + `n^2` W |
 //! | [`skss`] | 1R1W-SKSS \[15\] | 1 | medium | `n^2` R + `n^2` W |
 //! | [`skss_lb`] | **1R1W-SKSS-LB (this paper)** | 1 | high | `n^2` R + `n^2` W |
+//! | [`skss_sh`] | 1R1W-SKSS-SH (shuffle-only) | 1 | high | `n^2` R + `n^2` W, zero shared |
 
 use gpu_sim::elem::DeviceElem;
 use gpu_sim::global::GlobalBuffer;
@@ -23,6 +25,7 @@ pub mod hybrid;
 pub mod one_r_one_w;
 pub mod skss;
 pub mod skss_lb;
+pub mod skss_sh;
 pub mod two_r_one_w;
 pub mod two_r_two_w;
 pub mod two_r_two_w_opt;
@@ -110,7 +113,7 @@ pub fn compute_sat_padded<T: DeviceElem>(
     (cropped, metrics)
 }
 
-/// All seven SAT algorithms (excluding the duplication baseline) with the
+/// All eight SAT algorithms (excluding the duplication baseline) with the
 /// given tile parameters — the rows of Table III.
 pub fn all_algorithms<T: DeviceElem>(params: SatParams) -> Vec<Box<dyn SatAlgorithm<T>>> {
     vec![
@@ -121,6 +124,7 @@ pub fn all_algorithms<T: DeviceElem>(params: SatParams) -> Vec<Box<dyn SatAlgori
         Box::new(hybrid::HybridR1W::new(params, 0.25)),
         Box::new(skss::Skss::new(params)),
         Box::new(skss_lb::SkssLb::new(params)),
+        Box::new(skss_sh::SkssSh::new(params)),
     ]
 }
 
@@ -153,10 +157,11 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_seven() {
+    fn registry_has_all_eight() {
         let algs = all_algorithms::<u64>(SatParams::paper(4));
-        assert_eq!(algs.len(), 7);
+        assert_eq!(algs.len(), 8);
         let names: Vec<String> = algs.iter().map(|a| a.name()).collect();
         assert!(names.iter().any(|n| n.contains("skss_lb")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("skss_sh")), "{names:?}");
     }
 }

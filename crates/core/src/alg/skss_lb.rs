@@ -100,8 +100,9 @@ pub fn tile_for_serial(serial: usize, t: usize) -> (usize, usize) {
 pub const DEFAULT_LOOKBACK_WINDOW: usize = 8;
 
 /// Hard cap on the look-back window: bounds the stack index/value buffers
-/// of the diagonal walk's batched gather.
-const MAX_WINDOW: usize = 64;
+/// of the diagonal walk's batched gather. Shared with the shuffle-only
+/// variant (`skss_sh`), which reuses this module's look-back machinery.
+pub(crate) const MAX_WINDOW: usize = 64;
 
 /// The paper's algorithm, with ablation knobs: the shared-memory
 /// arrangement (diagonal vs. row-major, Section II), whether the
@@ -160,21 +161,26 @@ impl SkssLb {
 }
 
 /// All the device state one SKSS-LB launch shares between blocks.
-struct State<T: DeviceElem> {
-    grid: TileGrid,
-    counter: DeviceCounter,
-    r_flags: StatusBoard,
-    c_flags: StatusBoard,
-    lrs: VecAux<T>,
-    grs: VecAux<T>,
-    lcs: VecAux<T>,
-    gcs: VecAux<T>,
-    gls: ScalarAux<T>,
-    gs: ScalarAux<T>,
+///
+/// Crate-visible because the shuffle-only variant
+/// ([`super::skss_sh::SkssSh`]) keeps the inter-tile propagation protocol
+/// — flags, aux buffers, and windowed look-back walks — byte-for-byte
+/// identical and only replaces the intra-tile shared-memory pipeline.
+pub(crate) struct State<T: DeviceElem> {
+    pub(crate) grid: TileGrid,
+    pub(crate) counter: DeviceCounter,
+    pub(crate) r_flags: StatusBoard,
+    pub(crate) c_flags: StatusBoard,
+    pub(crate) lrs: VecAux<T>,
+    pub(crate) grs: VecAux<T>,
+    pub(crate) lcs: VecAux<T>,
+    pub(crate) gcs: VecAux<T>,
+    pub(crate) gls: ScalarAux<T>,
+    pub(crate) gs: ScalarAux<T>,
 }
 
 impl<T: DeviceElem> State<T> {
-    fn new(grid: TileGrid) -> Self {
+    pub(crate) fn new(grid: TileGrid) -> Self {
         State {
             grid,
             counter: DeviceCounter::new(),
@@ -201,7 +207,7 @@ impl<T: DeviceElem> State<T> {
     /// descending-`j` order, so the result is bit-identical even for
     /// floats, and every charge lands on the same [`gpu_sim::metrics`]
     /// sink methods the scalar expansion would hit.
-    fn look_back_grs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
+    pub(crate) fn look_back_grs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
         let w = self.grid.w;
         let mut acc: Vec<T> = ctx.scratch(w);
         if tj == 0 {
@@ -238,9 +244,7 @@ impl<T: DeviceElem> State<T> {
                 let dst = &mut buf[..c * w];
                 self.lrs.read_row_window_into(ctx, ti, hi - c, c, dst);
                 for row in dst.chunks_exact(w).rev() {
-                    for (a, &b) in acc.iter_mut().zip(row) {
-                        *a = a.add(b);
-                    }
+                    gpu_sim::simd::zip_add(&mut acc, row);
                 }
                 hi -= c;
             }
@@ -250,9 +254,7 @@ impl<T: DeviceElem> State<T> {
             } else {
                 self.lrs.read_vec_into(ctx, ti, term_j, term);
             }
-            for (a, &b) in acc.iter_mut().zip(term.iter()) {
-                *a = a.add(b);
-            }
+            gpu_sim::simd::zip_add(&mut acc, term);
             ctx.recycle(buf);
             return acc;
         }
@@ -268,9 +270,7 @@ impl<T: DeviceElem> State<T> {
                 // GRS(I,0) = LRS(I,0): the walk is complete at column 0.
                 j == 0
             };
-            for (a, &b) in acc.iter_mut().zip(&tmp) {
-                *a = a.add(b);
-            }
+            gpu_sim::simd::zip_add(&mut acc, &tmp);
             if done {
                 ctx.recycle(tmp);
                 return acc;
@@ -284,7 +284,7 @@ impl<T: DeviceElem> State<T> {
     /// except the visited rows sit one tile-row apart in the aux buffer,
     /// so the bulk phase uses a strided 2-D load (still one row-coalesced
     /// transaction per visited row).
-    fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
+    pub(crate) fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
         let w = self.grid.w;
         let mut acc: Vec<T> = ctx.scratch(w);
         if ti == 0 {
@@ -317,9 +317,7 @@ impl<T: DeviceElem> State<T> {
                 let dst = &mut buf[..c * w];
                 self.lcs.read_col_window_into(ctx, hi - c, tj, c, dst);
                 for row in dst.chunks_exact(w).rev() {
-                    for (a, &b) in acc.iter_mut().zip(row) {
-                        *a = a.add(b);
-                    }
+                    gpu_sim::simd::zip_add(&mut acc, row);
                 }
                 hi -= c;
             }
@@ -329,9 +327,7 @@ impl<T: DeviceElem> State<T> {
             } else {
                 self.lcs.read_vec_into(ctx, term_i, tj, term);
             }
-            for (a, &b) in acc.iter_mut().zip(term.iter()) {
-                *a = a.add(b);
-            }
+            gpu_sim::simd::zip_add(&mut acc, term);
             ctx.recycle(buf);
             return acc;
         }
@@ -346,9 +342,7 @@ impl<T: DeviceElem> State<T> {
                 self.lcs.read_vec_into(ctx, i, tj, &mut tmp);
                 i == 0
             };
-            for (a, &b) in acc.iter_mut().zip(&tmp) {
-                *a = a.add(b);
-            }
+            gpu_sim::simd::zip_add(&mut acc, &tmp);
             if done {
                 ctx.recycle(tmp);
                 return acc;
@@ -364,7 +358,7 @@ impl<T: DeviceElem> State<T> {
     /// then the visited `GLS` scalars (which sit `t+1` apart along the
     /// diagonal of the aux buffer) are fetched through a batched gather,
     /// `window` at a time, accumulated in the walk's ascending-`k` order.
-    fn look_back_gs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> T {
+    pub(crate) fn look_back_gs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> T {
         let mut acc = T::zero();
         if ti == 0 || tj == 0 {
             return acc;
@@ -473,9 +467,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 let grs_left = state.look_back_grs(ctx, ti, tj, self.decoupled, window);
                 let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
                 grs_cur.copy_from_slice(&lrs_v);
-                for (a, b) in grs_cur.iter_mut().zip(&grs_left) {
-                    *a = a.add(*b);
-                }
+                gpu_sim::simd::zip_add(&mut grs_cur, &grs_left);
                 state.grs.write_vec(ctx, ti, tj, &grs_cur);
                 state.r_flags.publish(ctx, idx, R_GRS);
                 ctx.recycle(grs_cur);
@@ -485,9 +477,7 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                 state.c_flags.publish(ctx, idx, C_LCS);
                 let gcs_top = state.look_back_gcs(ctx, ti, tj, self.decoupled, window);
                 let mut gcs_cur = lcs_v;
-                for (a, b) in gcs_cur.iter_mut().zip(&gcs_top) {
-                    *a = a.add(*b);
-                }
+                gpu_sim::simd::zip_add(&mut gcs_cur, &gcs_top);
                 state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
                 state.c_flags.publish(ctx, idx, C_GCS);
                 ctx.recycle(gcs_cur);

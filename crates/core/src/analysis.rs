@@ -110,6 +110,14 @@ pub fn table_one(n: usize, params: SatParams, r: f64) -> Vec<TableOneRow> {
             reads: n2,
             writes: n2,
         },
+        TableOneRow {
+            algorithm: "1R1W-SKSS-SH",
+            kernel_calls: 1,
+            threads: n * n / w,
+            parallelism: Parallelism::High,
+            reads: n2,
+            writes: n2,
+        },
     ]
 }
 
@@ -130,10 +138,14 @@ mod tests {
     #[test]
     fn table_one_shape() {
         let rows = table_one(1024, SatParams::paper(32), 0.25);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].threads, 1024);
         assert_eq!(rows[3].kernel_calls, 2 * 32 - 1);
         assert_eq!(rows[6].parallelism, Parallelism::High);
+        // The shuffle-only variant is single-kernel with a thread per column.
+        assert_eq!(rows[7].algorithm, "1R1W-SKSS-SH");
+        assert_eq!(rows[7].kernel_calls, 1);
+        assert_eq!(rows[7].threads, 1024 * 1024 / 32);
         // Threads ordering: low <= medium <= high (paper: n <= nW/m <= n^2/m).
         assert!(rows[0].threads <= rows[5].threads);
         assert!(rows[5].threads <= rows[6].threads);

@@ -108,18 +108,40 @@ pub fn sat_batch_serial<T: DeviceElem>(gpu: &Gpu, params: SatParams, images: &[B
 
 /// Run 2R1W over every image, pipelined: image `i` is enqueued on stream
 /// `i % streams`, each image's three kernels in stream order, then every
-/// stream is synchronized. `streams` is clamped to at least 1.
+/// stream is synchronized. `streams` is clamped to at least 1 and to the
+/// host's worker parallelism: lanes beyond the pool's worker count cannot
+/// overlap, and fragmenting the batch across them only breaks up each
+/// lane's backlog (defeating the completing-worker job chaining that makes
+/// deep pipelines cheap) while paying an extra submit/wake round-trip
+/// every time a lane runs dry.
 pub fn sat_batch_streamed<T: DeviceElem>(
     gpu: &Gpu,
     params: SatParams,
     images: &[BatchImage<T>],
     streams: usize,
 ) -> BatchReport {
-    let lanes: Vec<_> = (0..streams.max(1)).map(|_| gpu.stream()).collect();
+    let lanes_wanted = streams.clamp(1, gpu.host_parallelism().max(1));
+    let lanes: Vec<_> = (0..lanes_wanted).map(|_| gpu.stream()).collect();
+    // One aux allocation per lane, not per image: in-stream ordering means
+    // image i+lanes's k1 starts only after image i's k3 retired on the same
+    // lane, and k1/k2 fully overwrite every aux slot before k3 reads it, so
+    // the buffers can be recycled safely. This takes the per-image host-side
+    // allocate-and-zero of six auxiliary arrays off the enqueue path (the
+    // counters are unaffected — aux allocation charges nothing).
+    let mut lane_aux: Vec<Option<Arc<TwoROneWAux<T>>>> =
+        (0..lanes.len()).map(|_| None).collect();
     for (i, img) in images.iter().enumerate() {
-        let stream = &lanes[i % lanes.len()];
+        let lane = i % lanes.len();
+        let stream = &lanes[lane];
         let grid = TileGrid::new(img.n, params.w);
-        let aux = Arc::new(TwoROneWAux::<T>::new(grid));
+        let aux = match &lane_aux[lane] {
+            Some(a) if a.grid == grid => Arc::clone(a),
+            _ => {
+                let a = Arc::new(TwoROneWAux::<T>::new(grid));
+                lane_aux[lane] = Some(Arc::clone(&a));
+                a
+            }
+        };
         let [lc1, lc2, lc3] = launch_plan(grid, tpb(gpu, params));
         {
             let (input, aux) = (Arc::clone(&img.input), Arc::clone(&aux));

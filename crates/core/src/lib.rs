@@ -24,7 +24,9 @@
 //! * [`alg::one_r_one_w`] — Kasagi et al.'s diagonal waves;
 //! * [`alg::hybrid`] — the (1+r)R1W hybrid;
 //! * [`alg::skss`] — Funasaka et al.'s column-pipelined single kernel;
-//! * [`alg::skss_lb`] — **the paper's algorithm**.
+//! * [`alg::skss_lb`] — **the paper's algorithm**;
+//! * [`alg::skss_sh`] — a shuffle-only software-systolic variant of it
+//!   that keeps the whole tile in registers (zero shared-memory traffic).
 //!
 //! ## Quick start
 //!
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::alg::one_r_one_w::OneROneW;
     pub use crate::alg::skss::Skss;
     pub use crate::alg::skss_lb::SkssLb;
+    pub use crate::alg::skss_sh::SkssSh;
     pub use crate::alg::two_r_one_w::TwoROneW;
     pub use crate::alg::two_r_two_w::TwoRTwoW;
     pub use crate::alg::two_r_two_w_opt::TwoRTwoWOpt;

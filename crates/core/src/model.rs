@@ -38,6 +38,8 @@ pub enum AlgKind {
     Skss,
     /// The paper's 1R1W-SKSS-LB.
     SkssLb,
+    /// Shuffle-only software-systolic variant (zero shared traffic).
+    SkssSh,
 }
 
 impl AlgKind {
@@ -52,6 +54,7 @@ impl AlgKind {
             AlgKind::Hybrid(r) => format!("hybrid_r{r:.2}"),
             AlgKind::Skss => "skss".into(),
             AlgKind::SkssLb => "skss_lb".into(),
+            AlgKind::SkssSh => "skss_sh".into(),
         }
     }
 }
@@ -272,11 +275,34 @@ pub fn synthesize(kind: AlgKind, n: usize, params: SatParams, cfg: &DeviceConfig
                 cfg,
             ));
         }
+        AlgKind::SkssSh => {
+            // Same inter-tile protocol (and hence global traffic) as
+            // SKSS-LB, but the tile work lives in registers: zero shared
+            // accesses, all intra-tile combining on warp shuffles. One
+            // thread per tile column with ILP `w` keeps the bandwidth
+            // model at full occupancy.
+            let lb_reads = tiles * (2 * wu + 1);
+            let mut k = kernel(
+                "skss_sh",
+                tiles as usize,
+                w.min(cfg.max_threads_per_block),
+                n2 + lb_reads,
+                n2 + tiles * (4 * wu + 2),
+                0,
+                0,
+                0,
+                CriticalPath { hops: (2 * t - 1) as u64, bytes_per_hop: 0 },
+                cfg,
+            );
+            k.ilp = w;
+            k.stats.warp_shuffles = tiles * crate::alg::skss_sh::shuffles_per_tile(w);
+            run.push(k);
+        }
     }
     run
 }
 
-/// All Table III rows (duplication + seven algorithms).
+/// All Table III rows (duplication + eight algorithms).
 pub fn all_kinds() -> Vec<AlgKind> {
     vec![
         AlgKind::Duplicate,
@@ -287,6 +313,7 @@ pub fn all_kinds() -> Vec<AlgKind> {
         AlgKind::Hybrid(0.25),
         AlgKind::Skss,
         AlgKind::SkssLb,
+        AlgKind::SkssSh,
     ]
 }
 
@@ -315,6 +342,7 @@ mod tests {
             AlgKind::Hybrid(0.25),
             AlgKind::Skss,
             AlgKind::SkssLb,
+            AlgKind::SkssSh,
         ];
         for (alg, kind) in all_algorithms::<f32>(params).iter().zip(kinds) {
             let (_, measured) = compute_sat(&gpu, alg.as_ref(), &a);
@@ -356,6 +384,7 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(AlgKind::SkssLb.label(), "skss_lb");
+        assert_eq!(AlgKind::SkssSh.label(), "skss_sh");
         assert_eq!(AlgKind::Hybrid(0.25).label(), "hybrid_r0.25");
     }
 }

@@ -202,7 +202,12 @@ impl LaunchJob {
     /// used to dominate launch overhead; totals are unchanged because
     /// field-wise addition is associative, and exactly one worker (the one
     /// whose bump brings `finished` to `blocks`) triggers completion.
-    fn run_blocks(&self, pool: &PoolShared, arena: &mut ScratchArena) {
+    ///
+    /// Returns a stream continuation job when the completing worker should
+    /// run the stream's next launch directly (see
+    /// [`StreamShared::on_job_complete`]); the worker loop chains it
+    /// without a queue round-trip.
+    fn run_blocks(&self, pool: &PoolShared, arena: &mut ScratchArena) -> Option<Arc<LaunchJob>> {
         let mut local = BlockStats::default();
         let mut ran = 0usize;
         loop {
@@ -242,21 +247,30 @@ impl LaunchJob {
         if ran > 0 {
             self.acc.absorb(&local);
             if self.finished.fetch_add(ran, Ordering::AcqRel) + ran == self.blocks {
-                self.complete(pool);
+                return self.complete(pool);
             }
         }
+        None
     }
 
     /// All blocks done: wake the submitter and advance the owning stream.
-    fn complete(&self, pool: &PoolShared) {
-        {
-            let mut st = self.state.lock().unwrap();
-            st.complete = true;
+    /// May hand back the stream's next job for direct chaining.
+    fn complete(&self, pool: &PoolShared) -> Option<Arc<LaunchJob>> {
+        // Asynchronous stream launches (`record_in_stream`) are never
+        // handed back to a caller, so no thread can be parked in `wait`;
+        // skip the completion lock and wake for them — `sync` observes
+        // completion through the stream's own idle condvar instead.
+        if !(self.record_in_stream && self.stream.is_some()) {
+            {
+                let mut st = self.state.lock().unwrap();
+                st.complete = true;
+            }
+            self.done.notify_all();
         }
-        self.done.notify_all();
         if let Some(stream) = self.stream.as_ref().and_then(Weak::upgrade) {
-            stream.on_job_complete(pool, self);
+            return stream.on_job_complete(pool, self);
         }
+        None
     }
 
     /// Complete a zero-block job inline (the pool never sees it).
@@ -351,6 +365,11 @@ impl PoolShared {
         self.submit(Arc::clone(&job));
         job.wait()
     }
+
+    /// Number of worker threads serving this pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
 }
 
 fn worker_loop(shared: &PoolShared) {
@@ -374,7 +393,13 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.ready.wait(q).unwrap();
             }
         };
-        job.run_blocks(shared, &mut arena);
+        // A completing stream job may hand back the stream's next launch;
+        // run it on this worker's warm arena instead of paying the queue
+        // lock + condvar wake for every kernel of a long pipeline.
+        let mut job = job;
+        while let Some(next) = job.run_blocks(shared, &mut arena) {
+            job = next;
+        }
     }
 }
 

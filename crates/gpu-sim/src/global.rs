@@ -263,7 +263,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.charge_global_read(n, n * T::BYTES);
         for (idx, out) in indices.chunks(WARP).zip(dst.chunks_mut(WARP)) {
             let first = idx[0];
-            if idx.iter().enumerate().all(|(k, &i)| i == first + k) {
+            if crate::simd::is_contiguous_run(idx) {
                 T::load_slice(&self.data[first..first + idx.len()], out);
             } else {
                 for (d, &i) in out.iter_mut().zip(idx) {
@@ -289,7 +289,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         ctx.stats.charge_global_write(n, n * T::BYTES);
         for (idx, vals) in indices.chunks(WARP).zip(src.chunks(WARP)) {
             let first = idx[0];
-            if idx.iter().enumerate().all(|(k, &i)| i == first + k) {
+            if crate::simd::is_contiguous_run(idx) {
                 T::store_slice(&self.data[first..first + idx.len()], vals);
             } else {
                 for (&v, &i) in vals.iter().zip(idx) {

@@ -427,6 +427,14 @@ impl Gpu {
         self.engine.pool.get_or_init(|| WorkerPool::new(&self.cfg, self.ordinal))
     }
 
+    /// Number of host worker threads serving this device's pool (started
+    /// on first use). Stream lanes beyond this count cannot overlap — the
+    /// pool has nothing to run them on — so batch pipelines use it to cap
+    /// how many streams they rotate over.
+    pub fn host_parallelism(&self) -> usize {
+        self.pool().shared().workers()
+    }
+
     /// Open an asynchronous stream on this GPU (CUDA `cudaStreamCreate`).
     ///
     /// Launches enqueued on one stream execute in order; launches on

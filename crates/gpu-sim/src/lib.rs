@@ -57,6 +57,7 @@ pub mod group;
 pub mod launch;
 pub mod metrics;
 pub mod shared;
+pub mod simd;
 pub mod stream;
 pub mod sync;
 pub mod timing;

@@ -31,6 +31,7 @@ use crate::device::WARP;
 use crate::elem::DeviceElem;
 use crate::global::GlobalBuffer;
 use crate::launch::BlockCtx;
+use crate::simd;
 
 /// Physical layout of a tile in shared memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,9 +239,7 @@ impl<T: DeviceElem> SharedTile<T> {
         assert_eq!(src.len(), self.w);
         Self::account(ctx, 2 * self.w as u64, self.row_conflict);
         let row = &mut self.data[i * self.w..(i + 1) * self.w];
-        for (d, s) in row.iter_mut().zip(src) {
-            *d = d.add(*s);
-        }
+        simd::zip_add(row, src);
     }
 
     /// Add `src[i]` to every element of column `j` (used to fold a carried
@@ -295,9 +294,7 @@ impl<T: DeviceElem> SharedTile<T> {
         self.load_from_global(ctx, src, offset, stride);
         sums.fill(T::zero());
         for row in self.data.chunks_exact(self.w) {
-            for (s, &v) in sums.iter_mut().zip(row) {
-                *s = s.add(v);
-            }
+            simd::zip_add(sums, row);
         }
     }
 
@@ -368,9 +365,7 @@ impl<T: DeviceElem> SharedTile<T> {
             let (above, below) = self.data.split_at_mut(i * w);
             let prev = &above[(i - 1) * w..];
             let cur = &mut below[..w];
-            for (c, p) in cur.iter_mut().zip(prev) {
-                *c = c.add(*p);
-            }
+            simd::zip_add(cur, &prev[..w]);
         }
     }
 
@@ -395,9 +390,7 @@ impl<T: DeviceElem> SharedTile<T> {
             let (above, below) = self.data.split_at_mut(i * w);
             let prev = &above[(i - 1) * w..];
             let cur = &mut below[..w];
-            for (c, p) in cur.iter_mut().zip(prev) {
-                *c = c.add(*p);
-            }
+            simd::zip_add(cur, &prev[..w]);
         }
     }
 
@@ -408,9 +401,7 @@ impl<T: DeviceElem> SharedTile<T> {
         Self::account(ctx, (self.w * self.w) as u64, self.row_conflict);
         sums.fill(T::zero());
         for row in self.data.chunks_exact(self.w) {
-            for (s, v) in sums.iter_mut().zip(row) {
-                *s = s.add(*v);
-            }
+            simd::zip_add(sums, row);
         }
     }
 

@@ -67,8 +67,26 @@ pub(crate) struct StreamShared {
 
 impl StreamShared {
     /// Called by the worker that finishes a job's last block: record the
-    /// result and submit the stream's next queued job.
-    pub(crate) fn on_job_complete(&self, pool: &PoolShared, job: &LaunchJob) {
+    /// result and advance the stream's queue.
+    ///
+    /// Returns the next queued job instead of submitting it when the
+    /// completing worker can run the whole launch itself — a single-block
+    /// grid, or a pool with only one worker (nobody else could help
+    /// anyway). The worker chains it directly on its warm scratch arena,
+    /// skipping the queue lock, condvar wake, and re-park that otherwise
+    /// tax every kernel of a deep stream pipeline. In-stream ordering is
+    /// preserved trivially: the chained job starts strictly after this
+    /// one's last block.
+    pub(crate) fn on_job_complete(
+        &self,
+        pool: &PoolShared,
+        job: &LaunchJob,
+    ) -> Option<Arc<LaunchJob>> {
+        // Snapshot the metrics before taking the stream lock: the enqueueing
+        // host thread contends for the same lock, and on a single-core host
+        // every contended acquisition is a context switch.
+        let metrics =
+            if !job.panicked() && job.record_in_stream() { Some(job.metrics()) } else { None };
         let mut st = self.state.lock().unwrap();
         st.in_flight = false;
         if job.panicked() {
@@ -88,10 +106,10 @@ impl StreamShared {
             }
             drop(st);
             self.idle.notify_all();
-            return;
+            return None;
         }
-        if job.record_in_stream() {
-            st.finished.push(job.metrics());
+        if let Some(m) = metrics {
+            st.finished.push(m);
         }
         while let Some(next) = st.queued.pop_front() {
             if next.blocks() == 0 {
@@ -103,11 +121,15 @@ impl StreamShared {
             }
             st.in_flight = true;
             drop(st);
+            if next.blocks() == 1 || pool.workers() == 1 {
+                return Some(next);
+            }
             pool.submit(next);
-            return;
+            return None;
         }
         drop(st);
         self.idle.notify_all();
+        None
     }
 }
 

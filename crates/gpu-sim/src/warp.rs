@@ -10,6 +10,7 @@
 use crate::device::WARP;
 use crate::elem::DeviceElem;
 use crate::launch::BlockCtx;
+use crate::simd;
 
 /// Simulated `__shfl_up_sync`: every lane `i` receives the value of lane
 /// `i - delta`; lanes with `i < delta` keep their own value (CUDA returns
@@ -24,9 +25,7 @@ pub fn shfl_up<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T], delta: usize)
         return;
     }
     ctx.stats.charge_shuffles(lanes.len() as u64);
-    for i in (delta..lanes.len()).rev() {
-        lanes[i] = lanes[i - delta];
-    }
+    simd::shift_up(lanes, delta);
 }
 
 /// The paper's warp prefix-sum algorithm (Fig. 4): in-place inclusive scan
@@ -50,9 +49,7 @@ pub fn warp_inclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T]) {
     while d < n {
         ctx.stats.charge_shuffles(n as u64);
         snap[..n].copy_from_slice(lanes);
-        for ((out, hi), lo) in lanes[d..].iter_mut().zip(&snap[d..n]).zip(&snap[..n - d]) {
-            *out = hi.add(*lo);
-        }
+        simd::zip_add_into(&mut lanes[d..], &snap[d..n], &snap[..n - d]);
         d <<= 1;
     }
 }
@@ -66,10 +63,7 @@ pub fn shfl_down<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T], delta: usiz
         return;
     }
     ctx.stats.charge_shuffles(lanes.len() as u64);
-    let n = lanes.len();
-    for i in 0..n.saturating_sub(delta) {
-        lanes[i] = lanes[i + delta];
-    }
+    simd::shift_down(lanes, delta);
 }
 
 /// Exclusive warp scan: the inclusive Kogge-Stone scan followed by a
@@ -80,9 +74,7 @@ pub fn warp_exclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, lanes: &mut [T]) {
     }
     warp_inclusive_scan(ctx, lanes);
     ctx.stats.charge_shuffles(lanes.len() as u64);
-    for i in (1..lanes.len()).rev() {
-        lanes[i] = lanes[i - 1];
-    }
+    simd::shift_up(lanes, 1);
     lanes[0] = T::zero();
 }
 
@@ -124,9 +116,7 @@ pub fn block_inclusive_scan<T: DeviceElem>(ctx: &mut BlockCtx, vals: &mut [T]) {
     ctx.syncthreads();
     for (w, chunk) in vals.chunks_mut(WARP).enumerate().skip(1) {
         let offset = warp_totals[w - 1];
-        for v in chunk.iter_mut() {
-            *v = v.add(offset);
-        }
+        simd::add_scalar(chunk, offset);
     }
     ctx.recycle(warp_totals);
 }

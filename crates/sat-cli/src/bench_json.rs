@@ -164,7 +164,7 @@ fn mode_of(name: &str) -> ExecMode {
     }
 }
 
-/// The sweep roster: the seven Table III algorithms plus the duplication
+/// The sweep roster: the eight Table III algorithms plus the duplication
 /// baseline, all at tile width `w`.
 fn sweep_roster(w: usize) -> Vec<(String, Box<dyn SatAlgorithm<u32>>)> {
     let params = SatParams::paper(w);
@@ -177,6 +177,7 @@ fn sweep_roster(w: usize) -> Vec<(String, Box<dyn SatAlgorithm<u32>>)> {
         ("hybrid".into(), Box::new(HybridR1W::new(params, 0.25))),
         ("skss".into(), Box::new(Skss::new(params))),
         ("skss_lb".into(), Box::new(SkssLb::new(params))),
+        ("skss_sh".into(), Box::new(SkssSh::new(params))),
     ]
 }
 
@@ -706,7 +707,12 @@ fn parse_results(doc: &str) -> Vec<DocEntry> {
 /// regression — a shrunken sweep must not pass silently.
 ///
 /// Returns the human-readable report and whether anything regressed.
-pub fn compare(old_doc: &str, new_doc: &str, floor: f64) -> (String, bool) {
+pub fn compare(
+    old_doc: &str,
+    new_doc: &str,
+    floor: f64,
+    throughput_floor: Option<f64>,
+) -> (String, bool) {
     let old = parse_results(old_doc);
     let new = parse_results(new_doc);
     let mut out = String::new();
@@ -745,12 +751,46 @@ pub fn compare(old_doc: &str, new_doc: &str, floor: f64) -> (String, bool) {
             if counters_ok { "" } else { "  COUNTER DRIFT" },
         ));
     }
+    if let Some(tf) = throughput_floor {
+        // The streamed-pipeline speedup is gated absolutely, not against
+        // the old document: images/s over serial is a property the batch
+        // path must keep delivering regardless of what the baseline run
+        // happened to measure.
+        match throughput_speedup(new_doc) {
+            None => {
+                regression = true;
+                out.push_str(&format!(
+                    "throughput: MISSING from new document (floor {tf:.2}x)\n"
+                ));
+            }
+            Some(sp) => {
+                let slow = sp < tf;
+                regression |= slow;
+                let old_note = throughput_speedup(old_doc)
+                    .map(|o| format!("{o:.2}x -> "))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "throughput: streamed {old_note}{sp:.2}x serial (floor {tf:.2}x){}\n",
+                    if slow { "  REGRESSION" } else { "" }
+                ));
+            }
+        }
+    }
     out.push_str(&format!(
         "{compared}/{} points compared (floor {floor:.2}x): {}\n",
         old.len(),
         if regression { "REGRESSION" } else { "ok" }
     ));
     (out, regression)
+}
+
+/// The streamed-vs-serial `speedup` of a document's `--throughput`
+/// measurement, if the document recorded one.
+fn throughput_speedup(doc: &str) -> Option<f64> {
+    doc.lines()
+        .find(|l| l.trim_start().starts_with("\"throughput\":"))
+        .and_then(|l| json_field(l, "speedup"))
+        .and_then(|s| s.parse().ok())
 }
 
 #[cfg(test)]
@@ -865,7 +905,7 @@ mod tests {
     fn compare_passes_identical_documents() {
         let doc = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
             + &doc_line("skss", 1024, "concurrent", 90.0, [11, 5, 44, 20, 0]);
-        let (report, regression) = compare(&doc, &doc, 0.9);
+        let (report, regression) = compare(&doc, &doc, 0.9, None);
         assert!(!regression, "{report}");
         assert!(report.contains("2/2 points compared"));
     }
@@ -874,11 +914,40 @@ mod tests {
     fn compare_flags_throughput_below_floor() {
         let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
         let new = doc_line("skss", 1024, "sequential", 80.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &new, 0.9);
+        let (report, regression) = compare(&old, &new, 0.9, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // The same slowdown passes a lower floor.
-        assert!(!compare(&old, &new, 0.75).1);
+        assert!(!compare(&old, &new, 0.75, None).1);
+    }
+
+    #[test]
+    fn compare_gates_streamed_throughput_speedup() {
+        let results = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let tp_line = |speedup: f64| {
+            format!(
+                "\"throughput\":{{\"images\":256,\"n\":32,\"streams\":4,\
+                 \"serial_secs\":0.002000,\"streamed_secs\":0.001000,\
+                 \"speedup\":{speedup:.2},\"counters_match\":true}},\n"
+            )
+        };
+        let old = tp_line(1.70) + &results;
+        // A healthy speedup passes the floor; context shows old -> new.
+        let good = tp_line(1.45) + &results;
+        let (report, regression) = compare(&old, &good, 0.9, Some(1.3));
+        assert!(!regression, "{report}");
+        assert!(report.contains("1.70x -> 1.45x"), "{report}");
+        // Below the floor fails, even if every sweep point is fine.
+        let slow = tp_line(0.92) + &results;
+        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3));
+        assert!(regression);
+        assert!(report.contains("REGRESSION"), "{report}");
+        // A document missing the measurement entirely also fails...
+        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3));
+        assert!(regression);
+        assert!(report.contains("MISSING"), "{report}");
+        // ...but only when the gate was requested.
+        assert!(!compare(&old, &results, 0.9, None).1);
     }
 
     #[test]
@@ -888,16 +957,16 @@ mod tests {
         // Sequential read-count drift is a regression...
         let drift = doc_line("skss", 1024, "sequential", 100.0, [11, 5, 44, 20, 0])
             + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &drift, 0.9);
+        let (report, regression) = compare(&old, &drift, 0.9, None);
         assert!(regression);
         assert!(report.contains("COUNTER DRIFT"), "{report}");
         // ...but concurrent read-side drift is schedule noise, not one.
         let old_c = doc_line("skss", 1024, "concurrent", 100.0, [10, 5, 40, 20, 0]);
         let new_c = doc_line("skss", 1024, "concurrent", 100.0, [13, 5, 52, 20, 0]);
-        assert!(!compare(&old_c, &new_c, 0.9).1);
+        assert!(!compare(&old_c, &new_c, 0.9, None).1);
         // A point that vanished from the new document is a regression.
         let shrunk = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &shrunk, 0.9);
+        let (report, regression) = compare(&old, &shrunk, 0.9, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
     }

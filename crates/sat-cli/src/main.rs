@@ -86,6 +86,8 @@ fn usage() -> &'static str {
                            --conc-floor R (default 0.95, concurrent vs sequential)\n\
        bench-compare  offline floor check of two committed BENCH_*.json files\n\
                   usage: bench-compare OLD.json NEW.json [--floor R (default 0.9)]\n\
+                         [--throughput-floor S: fail if the new document's streamed\n\
+                          batch speedup over serial is below S]\n\
        all        every report above, in order"
 }
 
@@ -192,14 +194,19 @@ fn main() -> ExitCode {
         }
         "bench-compare" => {
             let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: sat-cli bench-compare OLD.json NEW.json [--floor R]");
+                eprintln!(
+                    "usage: sat-cli bench-compare OLD.json NEW.json [--floor R] [--throughput-floor S]"
+                );
                 return ExitCode::FAILURE;
             };
             let read = |p: &String| {
                 std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
             };
             let floor = parse_f64(&args, "--floor", 0.9);
-            let (report, regression) = bench_json::compare(&read(old_path), &read(new_path), floor);
+            let tp_floor = parse_opt(&args, "--throughput-floor")
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --throughput-floor: {v}")));
+            let (report, regression) =
+                bench_json::compare(&read(old_path), &read(new_path), floor, tp_floor);
             print!("{report}");
             if regression {
                 return ExitCode::FAILURE;

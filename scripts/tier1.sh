@@ -20,6 +20,13 @@ cargo clippy --all-targets --workspace -- -D warnings
 # parity break is named directly in the tier-1 log.
 cargo test --release -q --test counter_parity
 
+# The same parity suite with the vectorized host paths disabled
+# (GPU_SIM_NO_VECTOR=1 forces the scalar loops everywhere, not just in
+# the tests that opt in via force_scalar). The 8-way unrolled fast paths
+# in gpu-sim/src/simd.rs must be a pure host-speed change: if scalar and
+# vector runs ever charge differently, one of these two runs fails.
+GPU_SIM_NO_VECTOR=1 cargo test --release -q --test counter_parity
+
 # Counter-drift smoke: a quick filtered bench-json run against the
 # committed baseline. Any accounting drift (or serial-vs-streamed
 # divergence in the batch pipeline) makes bench-json exit nonzero via
@@ -42,6 +49,16 @@ cargo test --release -q --test counter_parity
 # rather than 0.9 because full-sweep wall numbers on the 1-core box move
 # +-15% run to run (EXPERIMENTS.md, "Host-overhead reduction").
 ./target/release/sat-cli bench-compare results/BENCH_3_rehost.json BENCH_4.json --floor 0.8
+
+# Same offline gate one PR forward: BENCH_5 (shuffle-only skss_sh +
+# vectorized host hot paths) against BENCH_4, plus the streamed-batch
+# throughput floor — BENCH_5's recorded `throughput.speedup` (streamed
+# vs serial images/s) must hold 1.3x, the regression ROADMAP item 5
+# existed to close. Absolute floor on the new document, not a ratio to
+# the old one: images/s over serial is a property the batch path must
+# keep delivering.
+./target/release/sat-cli bench-compare BENCH_4.json BENCH_5.json --floor 0.8 \
+  --throughput-floor 1.3
 
 # Multi-device smoke: a tiny 2-device sharded batch on the smallest device
 # config. bench-json exits nonzero if the group's deterministic counters

@@ -1,4 +1,4 @@
-//! Integration: all seven SAT algorithms, every element type, both
+//! Integration: all eight SAT algorithms, every element type, both
 //! execution modes — everything must agree with the sequential reference
 //! and therefore with each other.
 
