@@ -279,27 +279,85 @@ impl<T: DeviceElem> State<T> {
         }
     }
 
+    /// Wait on a tile's flag, routing through the cross-device variant
+    /// when the tile's row belongs to an earlier band of a cooperative
+    /// decomposition (`row < d2d_below`; the plain algorithms pass 0, so
+    /// every wait stays local).
+    fn wait_flag(
+        &self,
+        board: &StatusBoard,
+        ctx: &mut BlockCtx,
+        row: usize,
+        idx: usize,
+        min: u8,
+        d2d_below: usize,
+    ) -> u8 {
+        if row < d2d_below {
+            board.wait_at_least_remote(ctx, idx, min)
+        } else {
+            board.wait_at_least(ctx, idx, min)
+        }
+    }
+
+    /// Pull one `w`-wide aux row owned by an earlier band's device. The
+    /// bytes cross the interconnect as a single transfer (charged through
+    /// [`gpu_sim::metrics::BlockStats::charge_d2d`]), deliberately *not*
+    /// as local global-memory reads — the timing model prices the two
+    /// pipelines separately.
+    fn read_row_d2d(&self, ctx: &mut BlockCtx, src: &VecAux<T>, ti: usize, tj: usize, dst: &mut [T]) {
+        dst.copy_from_slice(&src.peek_vec(ti, tj));
+        ctx.stats.charge_d2d(1, self.grid.w as u64 * T::BYTES);
+    }
+
+    /// Pull one aux scalar owned by an earlier band's device: one
+    /// interconnect transfer of `T::BYTES`.
+    fn read_scalar_d2d(&self, ctx: &mut BlockCtx, src: &ScalarAux<T>, ti: usize, tj: usize) -> T {
+        ctx.stats.charge_d2d(1, T::BYTES);
+        src.peek(ti, tj)
+    }
+
     /// Step 2.B.2: the same walk upwards over `C`/`LCS`/`GCS` for
     /// `GCS(I-1, J)`. Windowed exactly like [`State::look_back_grs`],
     /// except the visited rows sit one tile-row apart in the aux buffer,
     /// so the bulk phase uses a strided 2-D load (still one row-coalesced
     /// transaction per visited row).
-    pub(crate) fn look_back_gcs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> Vec<T> {
+    ///
+    /// Unlike the row walk, the upward walk *can* cross a cooperative band
+    /// boundary: tile-rows below `d2d_below` live on an earlier band's
+    /// device, so their flags are awaited remotely and their rows move as
+    /// one interconnect transfer each — identically in the scalar and
+    /// windowed paths (the bulk phase splits its chunks at the boundary),
+    /// preserving the scalar-vs-vector counter-parity contract.
+    pub(crate) fn look_back_gcs(
+        &self,
+        ctx: &mut BlockCtx,
+        ti: usize,
+        tj: usize,
+        decoupled: bool,
+        window: usize,
+        d2d_below: usize,
+    ) -> Vec<T> {
         let w = self.grid.w;
         let mut acc: Vec<T> = ctx.scratch(w);
         if ti == 0 {
             return acc;
         }
         if !decoupled {
-            self.c_flags.wait_at_least(ctx, self.grid.tile_index(ti - 1, tj), C_GCS);
-            self.gcs.read_vec_into(ctx, ti - 1, tj, &mut acc);
+            let idx = self.grid.tile_index(ti - 1, tj);
+            self.wait_flag(&self.c_flags, ctx, ti - 1, idx, C_GCS, d2d_below);
+            if ti - 1 < d2d_below {
+                self.read_row_d2d(ctx, &self.gcs, ti - 1, tj, &mut acc);
+            } else {
+                self.gcs.read_vec_into(ctx, ti - 1, tj, &mut acc);
+            }
             return acc;
         }
         if window > 1 && !gpu_sim::global::force_scalar() {
             // Phase 1 — flag walk, identical to the scalar loop below.
             let mut i = ti - 1;
             let (term_i, term_gcs) = loop {
-                let st = self.c_flags.wait_at_least(ctx, self.grid.tile_index(i, tj), C_LCS);
+                let st =
+                    self.wait_flag(&self.c_flags, ctx, i, self.grid.tile_index(i, tj), C_LCS, d2d_below);
                 if st >= C_GCS {
                     break (i, true);
                 }
@@ -308,12 +366,16 @@ impl<T: DeviceElem> State<T> {
                 }
                 i -= 1;
             };
-            // Phase 2 — bulk loads, descending-i accumulation order.
+            // Phase 2 — bulk loads, descending-i accumulation order. Local
+            // rows (>= d2d_below) move in window-sized chunks; rows owned
+            // by an earlier band move one interconnect transfer each, in
+            // the same per-row order the scalar walk uses.
             let mut buf: Vec<T> = ctx.scratch_overwrite(window * w);
             let lo = term_i + 1;
+            let local_lo = lo.max(d2d_below);
             let mut hi = ti;
-            while hi > lo {
-                let c = (hi - lo).min(window);
+            while hi > local_lo {
+                let c = (hi - local_lo).min(window);
                 let dst = &mut buf[..c * w];
                 self.lcs.read_col_window_into(ctx, hi - c, tj, c, dst);
                 for row in dst.chunks_exact(w).rev() {
@@ -321,11 +383,19 @@ impl<T: DeviceElem> State<T> {
                 }
                 hi -= c;
             }
+            let mut i = local_lo;
+            while i > lo {
+                i -= 1;
+                self.read_row_d2d(ctx, &self.lcs, i, tj, &mut buf[..w]);
+                gpu_sim::simd::zip_add(&mut acc, &buf[..w]);
+            }
+            let term_remote = term_i < d2d_below;
             let term = &mut buf[..w];
-            if term_gcs {
-                self.gcs.read_vec_into(ctx, term_i, tj, term);
-            } else {
-                self.lcs.read_vec_into(ctx, term_i, tj, term);
+            match (term_gcs, term_remote) {
+                (true, false) => self.gcs.read_vec_into(ctx, term_i, tj, term),
+                (true, true) => self.read_row_d2d(ctx, &self.gcs, term_i, tj, term),
+                (false, false) => self.lcs.read_vec_into(ctx, term_i, tj, term),
+                (false, true) => self.read_row_d2d(ctx, &self.lcs, term_i, tj, term),
             }
             gpu_sim::simd::zip_add(&mut acc, term);
             ctx.recycle(buf);
@@ -334,12 +404,22 @@ impl<T: DeviceElem> State<T> {
         let mut tmp: Vec<T> = ctx.scratch(w);
         let mut i = ti - 1;
         loop {
-            let st = self.c_flags.wait_at_least(ctx, self.grid.tile_index(i, tj), C_LCS);
+            let st =
+                self.wait_flag(&self.c_flags, ctx, i, self.grid.tile_index(i, tj), C_LCS, d2d_below);
+            let remote = i < d2d_below;
             let done = if st >= C_GCS {
-                self.gcs.read_vec_into(ctx, i, tj, &mut tmp);
+                if remote {
+                    self.read_row_d2d(ctx, &self.gcs, i, tj, &mut tmp);
+                } else {
+                    self.gcs.read_vec_into(ctx, i, tj, &mut tmp);
+                }
                 true
             } else {
-                self.lcs.read_vec_into(ctx, i, tj, &mut tmp);
+                if remote {
+                    self.read_row_d2d(ctx, &self.lcs, i, tj, &mut tmp);
+                } else {
+                    self.lcs.read_vec_into(ctx, i, tj, &mut tmp);
+                }
                 i == 0
             };
             gpu_sim::simd::zip_add(&mut acc, &tmp);
@@ -358,21 +438,41 @@ impl<T: DeviceElem> State<T> {
     /// then the visited `GLS` scalars (which sit `t+1` apart along the
     /// diagonal of the aux buffer) are fetched through a batched gather,
     /// `window` at a time, accumulated in the walk's ascending-`k` order.
-    pub(crate) fn look_back_gs(&self, ctx: &mut BlockCtx, ti: usize, tj: usize, decoupled: bool, window: usize) -> T {
+    ///
+    /// The diagonal walk crosses a cooperative band boundary the same way
+    /// the upward walk does: predecessors on tile-rows below `d2d_below`
+    /// are awaited remotely and their scalars fetched one interconnect
+    /// transfer each, with the gather batches split at the boundary so the
+    /// scalar and windowed paths charge identically.
+    pub(crate) fn look_back_gs(
+        &self,
+        ctx: &mut BlockCtx,
+        ti: usize,
+        tj: usize,
+        decoupled: bool,
+        window: usize,
+        d2d_below: usize,
+    ) -> T {
         let mut acc = T::zero();
         if ti == 0 || tj == 0 {
             return acc;
         }
         if !decoupled {
-            self.r_flags.wait_at_least(ctx, self.grid.tile_index(ti - 1, tj - 1), R_GS);
-            return self.gs.read(ctx, ti - 1, tj - 1);
+            let idx = self.grid.tile_index(ti - 1, tj - 1);
+            self.wait_flag(&self.r_flags, ctx, ti - 1, idx, R_GS, d2d_below);
+            return if ti - 1 < d2d_below {
+                self.read_scalar_d2d(ctx, &self.gs, ti - 1, tj - 1)
+            } else {
+                self.gs.read(ctx, ti - 1, tj - 1)
+            };
         }
         if window > 1 && !gpu_sim::global::force_scalar() {
             // Phase 1 — flag walk, identical to the scalar loop below.
             let mut k = 1;
             let (term_k, term_gs) = loop {
                 let (pi, pj) = (ti - k, tj - k);
-                let st = self.r_flags.wait_at_least(ctx, self.grid.tile_index(pi, pj), R_GLS);
+                let st =
+                    self.wait_flag(&self.r_flags, ctx, pi, self.grid.tile_index(pi, pj), R_GLS, d2d_below);
                 if st >= R_GS {
                     break (k, true);
                 }
@@ -384,14 +484,18 @@ impl<T: DeviceElem> State<T> {
             };
             // Phase 2 — gather the visited GLS strip values (all of them
             // when the walk ended at the border, all but the terminal when
-            // it ended on a published GS).
+            // it ended on a published GS). Local rows batch through the
+            // gather; rows below the band boundary (k > ti - d2d_below)
+            // move one interconnect transfer per scalar, in the same
+            // ascending-k order.
             let gls_last = if term_gs { term_k - 1 } else { term_k };
+            let local_last = gls_last.min(ti.saturating_sub(d2d_below));
             let mut idx = [0usize; MAX_WINDOW];
             let mut vals = [T::zero(); MAX_WINDOW];
             let window = window.min(MAX_WINDOW);
             let mut k0 = 1;
-            while k0 <= gls_last {
-                let c = (gls_last - k0 + 1).min(window);
+            while k0 <= local_last {
+                let c = (local_last - k0 + 1).min(window);
                 for (m, slot) in idx[..c].iter_mut().enumerate() {
                     *slot = self.gls.index(ti - (k0 + m), tj - (k0 + m));
                 }
@@ -401,19 +505,39 @@ impl<T: DeviceElem> State<T> {
                 }
                 k0 += c;
             }
+            for k in (local_last + 1)..=gls_last {
+                acc = acc.add(self.read_scalar_d2d(ctx, &self.gls, ti - k, tj - k));
+            }
             if term_gs {
-                acc = acc.add(self.gs.read(ctx, ti - term_k, tj - term_k));
+                let (pi, pj) = (ti - term_k, tj - term_k);
+                acc = acc.add(if pi < d2d_below {
+                    self.read_scalar_d2d(ctx, &self.gs, pi, pj)
+                } else {
+                    self.gs.read(ctx, pi, pj)
+                });
             }
             return acc;
         }
         let mut k = 1;
         loop {
             let (pi, pj) = (ti - k, tj - k);
-            let st = self.r_flags.wait_at_least(ctx, self.grid.tile_index(pi, pj), R_GLS);
+            let st =
+                self.wait_flag(&self.r_flags, ctx, pi, self.grid.tile_index(pi, pj), R_GLS, d2d_below);
+            let remote = pi < d2d_below;
             if st >= R_GS {
-                return acc.add(self.gs.read(ctx, pi, pj));
+                let v = if remote {
+                    self.read_scalar_d2d(ctx, &self.gs, pi, pj)
+                } else {
+                    self.gs.read(ctx, pi, pj)
+                };
+                return acc.add(v);
             }
-            acc = acc.add(self.gls.read(ctx, pi, pj));
+            let v = if remote {
+                self.read_scalar_d2d(ctx, &self.gls, pi, pj)
+            } else {
+                self.gls.read(ctx, pi, pj)
+            };
+            acc = acc.add(v);
             if pi == 0 || pj == 0 {
                 // GLS on the border equals GS there (GS(-1,·) = 0).
                 return acc;
@@ -452,63 +576,89 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssLb {
                     return;
                 }
                 let (ti, tj) = tile_for_serial(serial, t);
-                let idx = grid.tile_index(ti, tj);
-
-                // Step 1: tile into shared memory (diagonal arrangement),
-                // column sums computed during the copy.
-                let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, self.arrangement);
-                let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
-                tile.row_sums_into(ctx, &mut lrs_v);
-                ctx.syncthreads();
-
-                // Step 2.A: publish LRS, look back for GRS(I,J-1), publish GRS.
-                state.lrs.write_vec(ctx, ti, tj, &lrs_v);
-                state.r_flags.publish(ctx, idx, R_LRS);
-                let grs_left = state.look_back_grs(ctx, ti, tj, self.decoupled, window);
-                let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
-                grs_cur.copy_from_slice(&lrs_v);
-                gpu_sim::simd::zip_add(&mut grs_cur, &grs_left);
-                state.grs.write_vec(ctx, ti, tj, &grs_cur);
-                state.r_flags.publish(ctx, idx, R_GRS);
-                ctx.recycle(grs_cur);
-
-                // Step 2.B: the same for columns.
-                state.lcs.write_vec(ctx, ti, tj, &lcs_v);
-                state.c_flags.publish(ctx, idx, C_LCS);
-                let gcs_top = state.look_back_gcs(ctx, ti, tj, self.decoupled, window);
-                let mut gcs_cur = lcs_v;
-                gpu_sim::simd::zip_add(&mut gcs_cur, &gcs_top);
-                state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
-                state.c_flags.publish(ctx, idx, C_GCS);
-                ctx.recycle(gcs_cur);
-
-                // Step 3.1: GLS(I,J) = sum(GRS(I,J-1)) + sum(GCS(I-1,J)) +
-                // sum(LRS(I,J)) — the L-shaped strip (Fig. 11). The sums
-                // are warp reductions on the device.
-                let sum = |v: &[T]| v.iter().fold(T::zero(), |a, &b| a.add(b));
-                let gls_val = sum(&grs_left).add(sum(&gcs_top)).add(sum(&lrs_v));
-                state.gls.write(ctx, ti, tj, gls_val);
-                state.r_flags.publish(ctx, idx, R_GLS);
-
-                // Steps 3.2 / 3.3: look back diagonally for GS(I-1,J-1),
-                // publish GS(I,J).
-                let gs_prev = state.look_back_gs(ctx, ti, tj, self.decoupled, window);
-                state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
-                state.r_flags.publish(ctx, idx, R_GS);
-
-                // Step 4: GSAT(I,J) from the borders, written out.
-                let left = (tj > 0).then_some(grs_left.as_slice());
-                let top = (ti > 0).then_some(gcs_top.as_slice());
-                tile_gsat_in_place(ctx, &mut tile, left, top, gs_prev);
-                store_tile(ctx, output, grid, ti, tj, &tile);
-                tile.release(ctx);
-                ctx.recycle(lrs_v);
-                ctx.recycle(grs_left);
-                ctx.recycle(gcs_top);
+                process_tile(ctx, input, output, &state, ti, tj, self.arrangement, self.decoupled, window, 0);
             }
         }));
         run
     }
+}
+
+/// The full SKSS-LB protocol for one tile (paper Section IV, steps 1–4):
+/// load, publish `LRS`/`LCS`, the three look-back walks, publish
+/// `GRS`/`GCS`/`GLS`/`GS`, and write the tile's `GSAT`.
+///
+/// Shared by the one-shot [`SkssLb::run`] loop (which claims tiles in
+/// diagonal-major serial order with `d2d_below = 0`) and the cooperative
+/// band decomposition in [`crate::coop`] (which claims tiles in band-local
+/// diagonal order and passes the band's first tile-row as `d2d_below`, so
+/// walks that leave the band go through the interconnect).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_tile<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    state: &State<T>,
+    ti: usize,
+    tj: usize,
+    arrangement: Arrangement,
+    decoupled: bool,
+    window: usize,
+    d2d_below: usize,
+) {
+    let grid = state.grid;
+    let idx = grid.tile_index(ti, tj);
+
+    // Step 1: tile into shared memory (diagonal arrangement),
+    // column sums computed during the copy.
+    let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, arrangement);
+    let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
+    tile.row_sums_into(ctx, &mut lrs_v);
+    ctx.syncthreads();
+
+    // Step 2.A: publish LRS, look back for GRS(I,J-1), publish GRS.
+    state.lrs.write_vec(ctx, ti, tj, &lrs_v);
+    state.r_flags.publish(ctx, idx, R_LRS);
+    let grs_left = state.look_back_grs(ctx, ti, tj, decoupled, window);
+    let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
+    grs_cur.copy_from_slice(&lrs_v);
+    gpu_sim::simd::zip_add(&mut grs_cur, &grs_left);
+    state.grs.write_vec(ctx, ti, tj, &grs_cur);
+    state.r_flags.publish(ctx, idx, R_GRS);
+    ctx.recycle(grs_cur);
+
+    // Step 2.B: the same for columns.
+    state.lcs.write_vec(ctx, ti, tj, &lcs_v);
+    state.c_flags.publish(ctx, idx, C_LCS);
+    let gcs_top = state.look_back_gcs(ctx, ti, tj, decoupled, window, d2d_below);
+    let mut gcs_cur = lcs_v;
+    gpu_sim::simd::zip_add(&mut gcs_cur, &gcs_top);
+    state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
+    state.c_flags.publish(ctx, idx, C_GCS);
+    ctx.recycle(gcs_cur);
+
+    // Step 3.1: GLS(I,J) = sum(GRS(I,J-1)) + sum(GCS(I-1,J)) +
+    // sum(LRS(I,J)) — the L-shaped strip (Fig. 11). The sums
+    // are warp reductions on the device.
+    let sum = |v: &[T]| v.iter().fold(T::zero(), |a, &b| a.add(b));
+    let gls_val = sum(&grs_left).add(sum(&gcs_top)).add(sum(&lrs_v));
+    state.gls.write(ctx, ti, tj, gls_val);
+    state.r_flags.publish(ctx, idx, R_GLS);
+
+    // Steps 3.2 / 3.3: look back diagonally for GS(I-1,J-1),
+    // publish GS(I,J).
+    let gs_prev = state.look_back_gs(ctx, ti, tj, decoupled, window, d2d_below);
+    state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
+    state.r_flags.publish(ctx, idx, R_GS);
+
+    // Step 4: GSAT(I,J) from the borders, written out.
+    let left = (tj > 0).then_some(grs_left.as_slice());
+    let top = (ti > 0).then_some(gcs_top.as_slice());
+    tile_gsat_in_place(ctx, &mut tile, left, top, gs_prev);
+    store_tile(ctx, output, grid, ti, tj, &tile);
+    tile.release(ctx);
+    ctx.recycle(lrs_v);
+    ctx.recycle(grs_left);
+    ctx.recycle(gcs_top);
 }
 
 #[cfg(test)]

@@ -151,7 +151,6 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssSh {
         let tpb = w.min(gpu.config().max_threads_per_block);
         let state = State::<T>::new(grid);
         let window = self.lookback_window.clamp(1, MAX_WINDOW);
-        let multi_warp = w > WARP;
 
         // Decoupled look-back, as SKSS-LB: one flag publication per hop.
         let cp = CriticalPath { hops: grid.diagonals() as u64, bytes_per_hop: 0 };
@@ -168,96 +167,118 @@ impl<T: DeviceElem> SatAlgorithm<T> for SkssSh {
                     return;
                 }
                 let (ti, tj) = tile_for_serial(serial, t);
-                let idx = grid.tile_index(ti, tj);
-
-                // Step 1: tile into registers — W coalesced row reads,
-                // each lane taking its column's element. No shared tile.
-                let mut regs: Vec<T> = ctx.scratch_overwrite(w * w);
-                input.load_2d(ctx, grid.elem_offset(ti, tj, 0, 0), grid.n, w, &mut regs);
-
-                // Local sums. Columns are thread-local register slices:
-                // LCS is free arithmetic. Rows span the warp: LRS is one
-                // butterfly reduction per row.
-                let mut lcs_v: Vec<T> = ctx.scratch(w);
-                for row in regs.chunks_exact(w) {
-                    simd::zip_add(&mut lcs_v, row);
-                }
-                let mut lrs_v: Vec<T> = ctx.scratch(w);
-                for (s, row) in lrs_v.iter_mut().zip(regs.chunks_exact(w)) {
-                    *s = row_reduce(ctx, row);
-                }
-                if multi_warp {
-                    ctx.syncthreads();
-                }
-
-                // Step 2.A: publish LRS, look back for GRS(I,J-1), publish
-                // GRS — verbatim SKSS-LB.
-                state.lrs.write_vec(ctx, ti, tj, &lrs_v);
-                state.r_flags.publish(ctx, idx, R_LRS);
-                let grs_left = state.look_back_grs(ctx, ti, tj, true, window);
-                let mut grs_cur: Vec<T> = ctx.scratch(w);
-                grs_cur.copy_from_slice(&lrs_v);
-                simd::zip_add(&mut grs_cur, &grs_left);
-                state.grs.write_vec(ctx, ti, tj, &grs_cur);
-                state.r_flags.publish(ctx, idx, R_GRS);
-                ctx.recycle(grs_cur);
-
-                // Step 2.B: the same for columns.
-                state.lcs.write_vec(ctx, ti, tj, &lcs_v);
-                state.c_flags.publish(ctx, idx, C_LCS);
-                let gcs_top = state.look_back_gcs(ctx, ti, tj, true, window);
-                let mut gcs_cur = lcs_v;
-                simd::zip_add(&mut gcs_cur, &gcs_top);
-                state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
-                state.c_flags.publish(ctx, idx, C_GCS);
-                ctx.recycle(gcs_cur);
-
-                // Step 3: GLS and the diagonal GS look-back — verbatim
-                // SKSS-LB.
-                let sum = |v: &[T]| v.iter().fold(T::zero(), |a, &b| a.add(b));
-                let gls_val = sum(&grs_left).add(sum(&gcs_top)).add(sum(&lrs_v));
-                state.gls.write(ctx, ti, tj, gls_val);
-                state.r_flags.publish(ctx, idx, R_GLS);
-                let gs_prev = state.look_back_gs(ctx, ti, tj, true, window);
-                state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
-                state.r_flags.publish(ctx, idx, R_GS);
-
-                // Step 4: borders folded straight into registers (free, as
-                // all register arithmetic), in the same order the shared
-                // tile's `apply_borders` uses: left column, top row,
-                // corner.
-                for (r, &g) in grs_left.iter().enumerate() {
-                    regs[r * w] = regs[r * w].add(g);
-                }
-                simd::zip_add(&mut regs[..w], &gcs_top);
-                regs[0] = regs[0].add(gs_prev);
-
-                // Intra-tile SAT, shuffle-only: Kogge-Stone row scans
-                // across lanes, then thread-local column accumulation
-                // (each lane adds its previous register to the next —
-                // the systolic flow).
-                for row in regs.chunks_exact_mut(w) {
-                    row_scan(ctx, row);
-                }
-                for i in 1..w {
-                    let (above, below) = regs.split_at_mut(i * w);
-                    let prev = &above[(i - 1) * w..];
-                    simd::zip_add(&mut below[..w], &prev[..w]);
-                }
-                if multi_warp {
-                    ctx.syncthreads();
-                }
-
-                // Step 5: registers straight back to global memory.
-                output.store_2d(ctx, grid.elem_offset(ti, tj, 0, 0), grid.n, w, &regs);
-                ctx.recycle(regs);
-                ctx.recycle(lrs_v);
-                ctx.recycle(grs_left);
-                ctx.recycle(gcs_top);
+                process_tile_systolic(ctx, input, output, &state, ti, tj, window, 0);
             }
         }));
         run
     }
+}
+
+/// The register-systolic tile pipeline for one tile: load into registers,
+/// shuffle-only local sums, the SKSS-LB flag/look-back protocol, and the
+/// Kogge-Stone intra-tile SAT. Shared by the one-shot [`SkssSh::run`] loop
+/// (`d2d_below = 0`) and the cooperative band decomposition in
+/// [`crate::coop`], exactly like [`super::skss_lb::process_tile`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_tile_systolic<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    state: &State<T>,
+    ti: usize,
+    tj: usize,
+    window: usize,
+    d2d_below: usize,
+) {
+    let grid = state.grid;
+    let w = grid.w;
+    let multi_warp = w > WARP;
+    let idx = grid.tile_index(ti, tj);
+
+    // Step 1: tile into registers — W coalesced row reads,
+    // each lane taking its column's element. No shared tile.
+    let mut regs: Vec<T> = ctx.scratch_overwrite(w * w);
+    input.load_2d(ctx, grid.elem_offset(ti, tj, 0, 0), grid.n, w, &mut regs);
+
+    // Local sums. Columns are thread-local register slices:
+    // LCS is free arithmetic. Rows span the warp: LRS is one
+    // butterfly reduction per row.
+    let mut lcs_v: Vec<T> = ctx.scratch(w);
+    for row in regs.chunks_exact(w) {
+        simd::zip_add(&mut lcs_v, row);
+    }
+    let mut lrs_v: Vec<T> = ctx.scratch(w);
+    for (s, row) in lrs_v.iter_mut().zip(regs.chunks_exact(w)) {
+        *s = row_reduce(ctx, row);
+    }
+    if multi_warp {
+        ctx.syncthreads();
+    }
+
+    // Step 2.A: publish LRS, look back for GRS(I,J-1), publish
+    // GRS — verbatim SKSS-LB.
+    state.lrs.write_vec(ctx, ti, tj, &lrs_v);
+    state.r_flags.publish(ctx, idx, R_LRS);
+    let grs_left = state.look_back_grs(ctx, ti, tj, true, window);
+    let mut grs_cur: Vec<T> = ctx.scratch(w);
+    grs_cur.copy_from_slice(&lrs_v);
+    simd::zip_add(&mut grs_cur, &grs_left);
+    state.grs.write_vec(ctx, ti, tj, &grs_cur);
+    state.r_flags.publish(ctx, idx, R_GRS);
+    ctx.recycle(grs_cur);
+
+    // Step 2.B: the same for columns.
+    state.lcs.write_vec(ctx, ti, tj, &lcs_v);
+    state.c_flags.publish(ctx, idx, C_LCS);
+    let gcs_top = state.look_back_gcs(ctx, ti, tj, true, window, d2d_below);
+    let mut gcs_cur = lcs_v;
+    simd::zip_add(&mut gcs_cur, &gcs_top);
+    state.gcs.write_vec(ctx, ti, tj, &gcs_cur);
+    state.c_flags.publish(ctx, idx, C_GCS);
+    ctx.recycle(gcs_cur);
+
+    // Step 3: GLS and the diagonal GS look-back — verbatim
+    // SKSS-LB.
+    let sum = |v: &[T]| v.iter().fold(T::zero(), |a, &b| a.add(b));
+    let gls_val = sum(&grs_left).add(sum(&gcs_top)).add(sum(&lrs_v));
+    state.gls.write(ctx, ti, tj, gls_val);
+    state.r_flags.publish(ctx, idx, R_GLS);
+    let gs_prev = state.look_back_gs(ctx, ti, tj, true, window, d2d_below);
+    state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
+    state.r_flags.publish(ctx, idx, R_GS);
+
+    // Step 4: borders folded straight into registers (free, as
+    // all register arithmetic), in the same order the shared
+    // tile's `apply_borders` uses: left column, top row,
+    // corner.
+    for (r, &g) in grs_left.iter().enumerate() {
+        regs[r * w] = regs[r * w].add(g);
+    }
+    simd::zip_add(&mut regs[..w], &gcs_top);
+    regs[0] = regs[0].add(gs_prev);
+
+    // Intra-tile SAT, shuffle-only: Kogge-Stone row scans
+    // across lanes, then thread-local column accumulation
+    // (each lane adds its previous register to the next —
+    // the systolic flow).
+    for row in regs.chunks_exact_mut(w) {
+        row_scan(ctx, row);
+    }
+    for i in 1..w {
+        let (above, below) = regs.split_at_mut(i * w);
+        let prev = &above[(i - 1) * w..];
+        simd::zip_add(&mut below[..w], &prev[..w]);
+    }
+    if multi_warp {
+        ctx.syncthreads();
+    }
+
+    // Step 5: registers straight back to global memory.
+    output.store_2d(ctx, grid.elem_offset(ti, tj, 0, 0), grid.n, w, &regs);
+    ctx.recycle(regs);
+    ctx.recycle(lrs_v);
+    ctx.recycle(grs_left);
+    ctx.recycle(gcs_top);
 }
 
 #[cfg(test)]

@@ -33,12 +33,12 @@ use crate::tile::{
 pub struct TwoROneWAux<T: DeviceElem> {
     /// Tile decomposition the arrays are sized for.
     pub grid: TileGrid,
-    lrs: VecAux<T>,
-    lcs: VecAux<T>,
-    grs: VecAux<T>,
-    gcs: VecAux<T>,
-    ls: ScalarAux<T>,
-    gs: ScalarAux<T>,
+    pub(crate) lrs: VecAux<T>,
+    pub(crate) lcs: VecAux<T>,
+    pub(crate) grs: VecAux<T>,
+    pub(crate) gcs: VecAux<T>,
+    pub(crate) ls: ScalarAux<T>,
+    pub(crate) gs: ScalarAux<T>,
 }
 
 impl<T: DeviceElem> TwoROneWAux<T> {
@@ -60,6 +60,19 @@ impl<T: DeviceElem> TwoROneWAux<T> {
 pub fn k1_local_sums<T: DeviceElem>(ctx: &mut BlockCtx, input: &GlobalBuffer<T>, aux: &TwoROneWAux<T>) {
     let grid = aux.grid;
     let (ti, tj) = (ctx.block_idx() / grid.t, ctx.block_idx() % grid.t);
+    k1_tile(ctx, input, aux, ti, tj);
+}
+
+/// Kernel 1 for one explicit tile — the unit [`crate::coop`] dispatches
+/// with band-local block indices.
+pub(crate) fn k1_tile<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    aux: &TwoROneWAux<T>,
+    ti: usize,
+    tj: usize,
+) {
+    let grid = aux.grid;
     let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
     let mut lrs_v: Vec<T> = ctx.scratch_overwrite(grid.w);
     tile.row_sums_into(ctx, &mut lrs_v);
@@ -77,48 +90,81 @@ pub fn k1_local_sums<T: DeviceElem>(ctx: &mut BlockCtx, input: &GlobalBuffer<T>,
 /// blocks `t..2t` scan tile-columns (`GCS`), block `2t` computes the SAT
 /// of the `LS` grid (`GS`).
 pub fn k2_global_sums<T: DeviceElem>(ctx: &mut BlockCtx, aux: &TwoROneWAux<T>) {
-    let grid = aux.grid;
-    let t = grid.t;
+    let t = aux.grid.t;
     let b = ctx.block_idx();
     if b < t {
-        let ti = b;
-        let mut acc: Vec<T> = ctx.scratch(grid.w);
-        let mut v: Vec<T> = ctx.scratch(grid.w);
-        for tj in 0..t {
-            aux.lrs.read_vec_into(ctx, ti, tj, &mut v);
-            for (a, &x) in acc.iter_mut().zip(&v) {
-                *a = a.add(x);
-            }
-            aux.grs.write_vec(ctx, ti, tj, &acc);
-        }
-        ctx.recycle(acc);
-        ctx.recycle(v);
+        k2_row_scan(ctx, aux, b);
     } else if b < 2 * t {
-        let tj = b - t;
-        let mut acc: Vec<T> = ctx.scratch(grid.w);
-        let mut v: Vec<T> = ctx.scratch(grid.w);
-        for ti in 0..t {
-            aux.lcs.read_vec_into(ctx, ti, tj, &mut v);
-            for (a, &x) in acc.iter_mut().zip(&v) {
-                *a = a.add(x);
-            }
-            aux.gcs.write_vec(ctx, ti, tj, &acc);
-        }
-        ctx.recycle(acc);
-        ctx.recycle(v);
+        k2_col_scan(ctx, aux, b - t, 0, t);
     } else {
-        // SAT of the t x t LS grid, computed by one block ("we can
-        // simply use 2R2W algorithm for computing the GS").
-        let mut acc = vec![T::zero(); t * t];
-        for ti in 0..t {
-            for tj in 0..t {
-                let v = aux.ls.read(ctx, ti, tj);
-                let up = if ti > 0 { acc[(ti - 1) * t + tj] } else { T::zero() };
-                let left = if tj > 0 { acc[ti * t + tj - 1] } else { T::zero() };
-                let diag = if ti > 0 && tj > 0 { acc[(ti - 1) * t + tj - 1] } else { T::zero() };
-                acc[ti * t + tj] = v.add(up).add(left).sub(diag);
-                aux.gs.write(ctx, ti, tj, acc[ti * t + tj]);
-            }
+        k2_grid(ctx, aux, 0, t);
+    }
+}
+
+/// Kernel 2 row piece: prefix-sum `LRS` along tile-row `ti` into `GRS`.
+/// Rows never cross a band boundary, so this is shared verbatim by the
+/// cooperative path.
+pub(crate) fn k2_row_scan<T: DeviceElem>(ctx: &mut BlockCtx, aux: &TwoROneWAux<T>, ti: usize) {
+    let grid = aux.grid;
+    let mut acc: Vec<T> = ctx.scratch(grid.w);
+    let mut v: Vec<T> = ctx.scratch(grid.w);
+    for tj in 0..grid.t {
+        aux.lrs.read_vec_into(ctx, ti, tj, &mut v);
+        for (a, &x) in acc.iter_mut().zip(&v) {
+            *a = a.add(x);
+        }
+        aux.grs.write_vec(ctx, ti, tj, &acc);
+    }
+    ctx.recycle(acc);
+    ctx.recycle(v);
+}
+
+/// Kernel 2 column piece over tile-rows `ti0..ti1`: prefix-sum `LCS` down
+/// tile-column `tj` into `GCS`, starting from zero at `ti0`. The one-shot
+/// path uses the full range `(0, t)`; a cooperative band scans only its own
+/// rows and lets the carry exchange upgrade the result to global.
+pub(crate) fn k2_col_scan<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    aux: &TwoROneWAux<T>,
+    tj: usize,
+    ti0: usize,
+    ti1: usize,
+) {
+    let grid = aux.grid;
+    let mut acc: Vec<T> = ctx.scratch(grid.w);
+    let mut v: Vec<T> = ctx.scratch(grid.w);
+    for ti in ti0..ti1 {
+        aux.lcs.read_vec_into(ctx, ti, tj, &mut v);
+        for (a, &x) in acc.iter_mut().zip(&v) {
+            *a = a.add(x);
+        }
+        aux.gcs.write_vec(ctx, ti, tj, &acc);
+    }
+    ctx.recycle(acc);
+    ctx.recycle(v);
+}
+
+/// Kernel 2 grid piece over tile-rows `ti0..ti1`: SAT of the `LS` subgrid
+/// into `GS`, with a zero top border at `ti0` ("we can simply use 2R2W
+/// algorithm for computing the GS"). Full range for the one-shot path,
+/// band range for the cooperative path.
+pub(crate) fn k2_grid<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    aux: &TwoROneWAux<T>,
+    ti0: usize,
+    ti1: usize,
+) {
+    let t = aux.grid.t;
+    let h = ti1 - ti0;
+    let mut acc = vec![T::zero(); h * t];
+    for r in 0..h {
+        for tj in 0..t {
+            let v = aux.ls.read(ctx, ti0 + r, tj);
+            let up = if r > 0 { acc[(r - 1) * t + tj] } else { T::zero() };
+            let left = if tj > 0 { acc[r * t + tj - 1] } else { T::zero() };
+            let diag = if r > 0 && tj > 0 { acc[(r - 1) * t + tj - 1] } else { T::zero() };
+            acc[r * t + tj] = v.add(up).add(left).sub(diag);
+            aux.gs.write(ctx, ti0 + r, tj, acc[r * t + tj]);
         }
     }
 }
@@ -132,6 +178,21 @@ pub fn k3_gsat<T: DeviceElem>(
 ) {
     let grid = aux.grid;
     let (ti, tj) = (ctx.block_idx() / grid.t, ctx.block_idx() % grid.t);
+    k3_tile(ctx, input, output, aux, ti, tj);
+}
+
+/// Kernel 3 for one explicit tile. Reads whatever `GRS`/`GCS`/`GS` hold at
+/// the tile's borders — the cooperative carry kernel rewrites those rows to
+/// global values first, so this body is shared unchanged.
+pub(crate) fn k3_tile<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    aux: &TwoROneWAux<T>,
+    ti: usize,
+    tj: usize,
+) {
+    let grid = aux.grid;
     let mut tile = load_tile(ctx, input, grid, ti, tj, Arrangement::Diagonal);
     let mut lbuf = [T::zero(); MAX_STACK_W];
     let mut tbuf = [T::zero(); MAX_STACK_W];

@@ -1,0 +1,539 @@
+//! Cooperative multi-device SAT: one huge image across a [`DeviceGroup`].
+//!
+//! [`crate::batch`] scales *throughput* by never splitting an image; this
+//! module scales a *single* SAT that is too large (or too slow) for one
+//! device. The `n x n` image is cut into horizontal **row bands** — each
+//! band a contiguous range of tile rows — and each band becomes one job of
+//! a [`DeviceGroup::run_batch_policy`] run, executing the existing kernels
+//! over its rows on whichever device the scheduler lands it on.
+//!
+//! A SAT is not row-separable: every band below the first needs the column
+//! sums of everything above it. The two cooperative pipelines resolve that
+//! dependency in different ways, both paying for every cross-device byte
+//! through [`BlockStats::charge_d2d`] and for every cross-device wait
+//! through [`StatusBoard::wait_at_least_remote`]:
+//!
+//! * [`CoopKernel::TwoROneW`] — an **eager carry exchange**. Each band
+//!   runs k1 and a band-local k2 (full-width row scans; column and grid
+//!   scans restricted to its rows), then *publishes* its total column sums
+//!   (the last band-local `GCS` row, `n` elements) into a peer-visible
+//!   bounds buffer and raises a per-band flag. Band `d` then runs a
+//!   *carry* kernel: it remote-waits on bands `0..d`, pulls their `n`-wide
+//!   boundary rows over the interconnect (one [`charge_d2d`] transfer
+//!   each), accumulates the carry, and upgrades its band-local `GCS`/`GS`
+//!   aux rows to global values in place — overwriting tile-row `r0 - 1`
+//!   (a local copy of the imported boundary) and adding the carry to its
+//!   own rows. k3 then runs completely unchanged. Every counter of this
+//!   pipeline is **fully deterministic**: the carry loop reads bands in
+//!   ascending order, so reads, writes, transfers, and flag waits are
+//!   identical for any device count, dispatch order, and steal schedule.
+//!
+//! * [`CoopKernel::SkssLb`] / [`CoopKernel::SkssSh`] — the paper's
+//!   **look-back protocol stretched across devices**. All bands share one
+//!   full-grid [`State`]; a band's blocks claim its tiles in band-local
+//!   diagonal order and run the unmodified per-tile protocol with
+//!   `d2d_below` set to the band's first tile row. Look-back walks that
+//!   step above that row wait on the remote band's flags with
+//!   [`wait_at_least_remote`] and fetch its `LCS`/`GCS`/`GLS`/`GS` values
+//!   over the interconnect — soft synchronization between devices with no
+//!   global barrier, exactly the single-kernel spirit of the paper. Walk
+//!   lengths depend on what the other device has published, so traffic
+//!   counters are schedule-dependent; output is still bit-identical
+//!   (accumulation order is fixed by the walk, not the schedule).
+//!
+//! Deadlock freedom: cross-band waits only ever target *strictly earlier*
+//! bands. Shards are contiguous and ascending, owners pop from the front,
+//! and a device only steals (from the back) once its own shard is empty —
+//! so the owner of the minimal unfinished band is never blocked behind a
+//! later band, and every wait is eventually satisfied. On one device the
+//! bands run in ascending order and every cross-band wait is pre-satisfied.
+//!
+//! [`BlockStats::charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
+//! [`charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
+//! [`StatusBoard::wait_at_least_remote`]: gpu_sim::sync::StatusBoard::wait_at_least_remote
+//! [`wait_at_least_remote`]: gpu_sim::sync::StatusBoard::wait_at_least_remote
+//! [`State`]: crate::alg::skss_lb
+
+use gpu_sim::elem::DeviceElem;
+use gpu_sim::global::GlobalBuffer;
+use gpu_sim::group::{DeviceGroup, GroupMetrics, StealPolicy};
+use gpu_sim::launch::LaunchConfig;
+use gpu_sim::metrics::{BlockStats, CriticalPath, RunMetrics};
+use gpu_sim::shared::Arrangement;
+use gpu_sim::sync::{DeviceCounter, StatusBoard};
+
+use crate::alg::skss_lb::{self, State, DEFAULT_LOOKBACK_WINDOW};
+use crate::alg::skss_sh;
+use crate::alg::two_r_one_w::{self, TwoROneWAux};
+use crate::alg::SatParams;
+use crate::tile::TileGrid;
+
+/// Default band count of [`sat_huge_multi_device`]. Eight bands over up to
+/// a handful of devices keeps every lane fed (a stealable surplus exists at
+/// any device count that divides it) while the per-band boundary exchange
+/// stays a vanishing fraction of the band's own traffic.
+pub const COOP_BANDS: usize = 8;
+
+/// Which kernel family runs inside each band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoopKernel {
+    /// Three-kernel 2R1W with the eager carry exchange; fully
+    /// deterministic counters.
+    TwoROneW,
+    /// Single-kernel SKSS-LB with cross-device look-back.
+    SkssLb,
+    /// Shuffle-only software-systolic variant, same cross-device protocol.
+    SkssSh,
+}
+
+impl CoopKernel {
+    /// Stable identifier used in launch labels and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoopKernel::TwoROneW => "coop_2r1w",
+            CoopKernel::SkssLb => "coop_skss_lb",
+            CoopKernel::SkssSh => "coop_skss_sh",
+        }
+    }
+}
+
+/// Aggregate result of one cooperative run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoopReport {
+    /// Image side length.
+    pub n: usize,
+    /// Tile width.
+    pub w: usize,
+    /// Tile-row height of each band, in band order.
+    pub band_rows: Vec<usize>,
+    /// Total kernel launches across all bands.
+    pub kernels: usize,
+    /// Field-wise sum of every launch's counters.
+    pub stats: BlockStats,
+}
+
+impl CoopReport {
+    /// The schedule-independent part of the counters. For
+    /// [`CoopKernel::TwoROneW`] this is bit-identical across device
+    /// counts, dispatch orders, and steal policies.
+    pub fn deterministic(&self) -> BlockStats {
+        self.stats.deterministic()
+    }
+}
+
+/// Split `t` tile rows into (at most) `bands` contiguous non-empty bands
+/// of near-equal height: band `d` spans `[d*t/b, (d+1)*t/b)`.
+pub fn even_bands(t: usize, bands: usize) -> Vec<usize> {
+    let b = bands.clamp(1, t);
+    (0..b).map(|d| (d + 1) * t / b - d * t / b).collect()
+}
+
+/// One band: tile rows `[r0, r1)` of the grid, plus its claim state for
+/// the look-back pipelines (unused by 2R1W).
+struct BandPlan {
+    d: usize,
+    r0: usize,
+    r1: usize,
+    /// Band tiles in band-local diagonal-major order (by `ti + tj`, then
+    /// `ti`) — the same anti-diagonal wavefront the one-shot SKSS kernels
+    /// use, restricted to the band.
+    order: Vec<(usize, usize)>,
+    counter: DeviceCounter,
+}
+
+/// Compute the SAT of one huge `n x n` image cooperatively across every
+/// device of `group`: [`COOP_BANDS`] equal row bands, work stealing on.
+/// Returns the aggregate report plus the group's per-lane breakdown
+/// (modeled completion time, D2D traffic, steal events).
+pub fn sat_huge_multi_device<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    kernel: CoopKernel,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    n: usize,
+) -> (CoopReport, GroupMetrics) {
+    let grid = TileGrid::new(n, params.w);
+    let rows = even_bands(grid.t, COOP_BANDS);
+    sat_huge_multi_device_bands(group, params, kernel, input, output, n, &rows, StealPolicy::StealOnIdle)
+}
+
+/// [`sat_huge_multi_device`] with an explicit band layout and steal
+/// policy. `band_rows[d]` is band `d`'s height in tile rows; heights must
+/// be positive and sum to the grid's tile-row count. Skewed layouts are
+/// how the scheduling tests provoke load imbalance.
+#[allow(clippy::too_many_arguments)]
+pub fn sat_huge_multi_device_bands<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    kernel: CoopKernel,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    n: usize,
+    band_rows: &[usize],
+    policy: StealPolicy,
+) -> (CoopReport, GroupMetrics) {
+    let grid = TileGrid::new(n, params.w);
+    assert_eq!(input.len(), n * n, "input is not n x n");
+    assert_eq!(output.len(), n * n, "output is not n x n");
+    assert!(!band_rows.is_empty(), "at least one band");
+    assert!(band_rows.iter().all(|&h| h > 0), "bands must be non-empty");
+    assert_eq!(band_rows.iter().sum::<usize>(), grid.t, "bands must cover the grid");
+
+    let t = grid.t;
+    let mut r0 = 0;
+    let bands: Vec<BandPlan> = band_rows
+        .iter()
+        .enumerate()
+        .map(|(d, &h)| {
+            let plan = BandPlan {
+                d,
+                r0,
+                r1: r0 + h,
+                order: {
+                    let mut v: Vec<(usize, usize)> = (r0..r0 + h)
+                        .flat_map(|ti| (0..t).map(move |tj| (ti, tj)))
+                        .collect();
+                    v.sort_by_key(|&(ti, tj)| (ti + tj, ti));
+                    v
+                },
+                counter: DeviceCounter::new(),
+            };
+            r0 += h;
+            plan
+        })
+        .collect();
+
+    let gm = match kernel {
+        CoopKernel::TwoROneW => run_coop_2r1w(group, params, input, output, grid, &bands, policy),
+        CoopKernel::SkssLb | CoopKernel::SkssSh => {
+            run_coop_skss(group, params, kernel, input, output, grid, &bands, policy)
+        }
+    };
+    let report = CoopReport {
+        n,
+        w: params.w,
+        band_rows: band_rows.to_vec(),
+        kernels: gm.kernel_calls(),
+        stats: gm.total_stats(),
+    };
+    (report, gm)
+}
+
+/// The eager-carry 2R1W pipeline; see the module docs for the protocol and
+/// its determinism argument. Disjointness of the in-place aux upgrades:
+/// band `d`'s carry overwrites `GCS`/`GS` tile-row `r0 - 1` and adds to
+/// rows `r0 .. r1-2`; its own k3 reads exactly rows `r0-1 .. r1-2`; its
+/// publish kernel read row `r1 - 1` *before* raising flag `d`, which is
+/// the row band `d + 1`'s carry overwrites *after* waiting on flag `d`.
+/// No two bands ever touch the same row unordered.
+fn run_coop_2r1w<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    grid: TileGrid,
+    bands: &[BandPlan],
+    policy: StealPolicy,
+) -> GroupMetrics {
+    let (n, t, w) = (grid.n, grid.t, grid.w);
+    let aux = TwoROneWAux::<T>::new(grid);
+    // Peer-visible boundary exchange: row `d` holds band d's total column
+    // sums (its last band-local GCS row, n elements). Written with the
+    // unaccounted host accessors and charged explicitly as one D2D
+    // transfer — peer traffic must not double-charge the DRAM counters.
+    let bounds = GlobalBuffer::<T>::zeroed(bands.len() * n);
+    let flags = StatusBoard::new(bands.len());
+
+    let jobs: Vec<&BandPlan> = bands.iter().collect();
+    group.run_batch_policy(jobs, policy, |gpu, band| {
+        let (d, r0, r1) = (band.d, band.r0, band.r1);
+        let h = r1 - r0;
+        let tpb = params.threads_per_block.min(gpu.config().max_threads_per_block);
+        let stpb = w.min(tpb);
+        let mut rm = RunMetrics::default();
+
+        // k1 over the band's h*t tiles.
+        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k1", h * t, tpb), |ctx| {
+            let b = ctx.block_idx();
+            two_r_one_w::k1_tile(ctx, input, &aux, r0 + b / t, b % t);
+        }));
+
+        // Band-local k2: h full-width row scans (GRS is already global),
+        // t column scans over the band's rows, one band GS grid scan.
+        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k2", h + t + 1, stpb), |ctx| {
+            let b = ctx.block_idx();
+            if b < h {
+                two_r_one_w::k2_row_scan(ctx, &aux, r0 + b);
+            } else if b < h + t {
+                two_r_one_w::k2_col_scan(ctx, &aux, b - h, r0, r1);
+            } else {
+                two_r_one_w::k2_grid(ctx, &aux, r0, r1);
+            }
+        }));
+
+        // Publish the band's total column sums to the bounds buffer.
+        rm.push(gpu.launch(LaunchConfig::new("coop_publish", 1, stpb), |ctx| {
+            let mut row: Vec<T> = ctx.scratch(w);
+            for tj in 0..t {
+                aux.gcs.read_vec_into(ctx, r1 - 1, tj, &mut row);
+                for (x, &v) in row.iter().enumerate() {
+                    bounds.host_write(d * n + tj * w + x, v);
+                }
+            }
+            ctx.recycle(row);
+            ctx.stats.charge_d2d(1, n as u64 * T::BYTES);
+            flags.publish(ctx, d, 1);
+        }));
+
+        // Pull every earlier band's boundary row, accumulate the carry,
+        // and upgrade the band-local GCS/GS rows to global in place.
+        if d > 0 {
+            rm.push(gpu.launch(LaunchConfig::new("coop_carry", 1, stpb), |ctx| {
+                let mut carry: Vec<T> = ctx.scratch(n);
+                for e in 0..d {
+                    flags.wait_at_least_remote(ctx, e, 1);
+                    ctx.stats.charge_d2d(1, n as u64 * T::BYTES);
+                    for (x, c) in carry.iter_mut().enumerate() {
+                        *c = c.add(bounds.host_read(e * n + x));
+                    }
+                }
+                let mut tmp: Vec<T> = ctx.scratch(w);
+                for tj in 0..t {
+                    let seg = &carry[tj * w..(tj + 1) * w];
+                    // Local copy of the imported boundary: k3's top border.
+                    aux.gcs.write_vec(ctx, r0 - 1, tj, seg);
+                    for ti in r0..r1 - 1 {
+                        aux.gcs.read_vec_into(ctx, ti, tj, &mut tmp);
+                        gpu_sim::simd::zip_add(&mut tmp, seg);
+                        aux.gcs.write_vec(ctx, ti, tj, &tmp);
+                    }
+                }
+                ctx.recycle(tmp);
+                // GS gets the column-prefixed carry: gsrow(tj) is the sum
+                // of every element above the band through tile column tj.
+                let mut acc = T::zero();
+                for tj in 0..t {
+                    for &c in &carry[tj * w..(tj + 1) * w] {
+                        acc = acc.add(c);
+                    }
+                    aux.gs.write(ctx, r0 - 1, tj, acc);
+                    for ti in r0..r1 - 1 {
+                        let v = aux.gs.read(ctx, ti, tj);
+                        aux.gs.write(ctx, ti, tj, v.add(acc));
+                    }
+                }
+                ctx.recycle(carry);
+            }));
+        }
+
+        // k3 unchanged: every border row it reads is global by now.
+        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k3", h * t, tpb), |ctx| {
+            let b = ctx.block_idx();
+            two_r_one_w::k3_tile(ctx, input, output, &aux, r0 + b / t, b % t);
+        }));
+        rm
+    })
+}
+
+/// The cross-device look-back pipeline: one shared [`State`], one launch
+/// per band, tiles claimed in band-local diagonal order, `d2d_below` set
+/// to the band's first row so walks that leave the band go through the
+/// interconnect.
+#[allow(clippy::too_many_arguments)]
+fn run_coop_skss<T: DeviceElem>(
+    group: &DeviceGroup,
+    params: SatParams,
+    kernel: CoopKernel,
+    input: &GlobalBuffer<T>,
+    output: &GlobalBuffer<T>,
+    grid: TileGrid,
+    bands: &[BandPlan],
+    policy: StealPolicy,
+) -> GroupMetrics {
+    let (t, w) = (grid.t, grid.w);
+    let state = State::<T>::new(grid);
+    let systolic = kernel == CoopKernel::SkssSh;
+    let label = kernel.name();
+    let window = DEFAULT_LOOKBACK_WINDOW;
+
+    let jobs: Vec<&BandPlan> = bands.iter().collect();
+    group.run_batch_policy(jobs, policy, |gpu, band| {
+        let h = band.r1 - band.r0;
+        let tpb = if systolic { w } else { params.threads_per_block.min(gpu.config().max_threads_per_block) };
+        // The band's own wavefront spans h + t - 1 anti-diagonals; the
+        // cross-band dependency is priced by the remote waits and D2D
+        // charges the walks themselves record.
+        let cp = CriticalPath { hops: (h + t - 1) as u64, bytes_per_hop: 0 };
+        let mut lc = LaunchConfig::new(label, h * t, tpb).with_critical_path(cp);
+        if systolic {
+            lc = lc.with_ilp(w);
+        }
+        let mut rm = RunMetrics::default();
+        rm.push(gpu.launch(lc, |ctx| loop {
+            let s = band.counter.next(ctx) as usize;
+            if s >= band.order.len() {
+                return;
+            }
+            let (ti, tj) = band.order[s];
+            if systolic {
+                skss_sh::process_tile_systolic(ctx, input, output, &state, ti, tj, window, band.r0);
+            } else {
+                skss_lb::process_tile(
+                    ctx,
+                    input,
+                    output,
+                    &state,
+                    ti,
+                    tj,
+                    Arrangement::Diagonal,
+                    true,
+                    window,
+                    band.r0,
+                );
+            }
+        }));
+        rm
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::reference;
+    use gpu_sim::launch::ExecMode;
+    use gpu_sim::prelude::*;
+
+    fn coop_run(
+        kernel: CoopKernel,
+        devices: usize,
+        policy: StealPolicy,
+        mat: &Matrix<u64>,
+        band_rows: &[usize],
+        w: usize,
+    ) -> (Matrix<u64>, CoopReport, GroupMetrics) {
+        let n = mat.rows();
+        let group = DeviceGroup::new(DeviceConfig::tiny(), devices);
+        let params = SatParams { w, threads_per_block: w * w };
+        let input = GlobalBuffer::from_slice(mat.as_slice());
+        let output = GlobalBuffer::<u64>::zeroed(n * n);
+        let (report, gm) =
+            sat_huge_multi_device_bands(&group, params, kernel, &input, &output, n, band_rows, policy);
+        (Matrix::from_vec(n, n, output.to_vec()), report, gm)
+    }
+
+    #[test]
+    fn even_bands_cover_the_grid() {
+        assert_eq!(even_bands(8, 8), vec![1; 8]);
+        assert_eq!(even_bands(7, 3), vec![2, 2, 3]);
+        assert_eq!(even_bands(3, 8), vec![1, 1, 1]);
+        assert_eq!(even_bands(12, 1), vec![12]);
+        for (t, b) in [(5, 2), (64, 8), (9, 4)] {
+            let rows = even_bands(t, b);
+            assert_eq!(rows.iter().sum::<usize>(), t);
+            assert!(rows.iter().all(|&h| h > 0));
+        }
+    }
+
+    #[test]
+    fn coop_2r1w_is_exact_and_counter_deterministic() {
+        let n = 64;
+        let w = 8;
+        let mat = Matrix::<u64>::random(n, n, 11, 100);
+        let want = reference::sat(&mat);
+        let bands = even_bands(n / w, COOP_BANDS);
+        let (out1, rep1, gm1) =
+            coop_run(CoopKernel::TwoROneW, 1, StealPolicy::Disabled, &mat, &bands, w);
+        assert_eq!(out1, want);
+        // Boundary exchange: one publish per band, d pulls for band d.
+        let b = bands.len() as u64;
+        assert_eq!(gm1.d2d_transfers(), b + b * (b - 1) / 2);
+        assert_eq!(gm1.d2d_bytes(), gm1.d2d_transfers() * (n as u64) * 8);
+        for devices in [2, 4] {
+            for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                let (out, rep, gm) = coop_run(CoopKernel::TwoROneW, devices, policy, &mat, &bands, w);
+                assert_eq!(out, want, "{devices} devices, {policy:?}");
+                assert_eq!(rep.kernels, rep1.kernels);
+                assert_eq!(
+                    rep.deterministic(),
+                    rep1.deterministic(),
+                    "{devices} devices, {policy:?}"
+                );
+                assert_eq!(gm.d2d_transfers(), gm1.d2d_transfers());
+            }
+        }
+    }
+
+    #[test]
+    fn coop_2r1w_skewed_bands_are_exact() {
+        let n = 48;
+        let w = 8; // t = 6
+        let mat = Matrix::<u64>::random(n, n, 23, 100);
+        let want = reference::sat(&mat);
+        for bands in [vec![1, 1, 4], vec![5, 1], vec![6], vec![1; 6]] {
+            let (out, _, _) = coop_run(CoopKernel::TwoROneW, 2, StealPolicy::StealOnIdle, &mat, &bands, w);
+            assert_eq!(out, want, "bands {bands:?}");
+        }
+    }
+
+    #[test]
+    fn coop_lookback_kernels_match_reference_across_devices() {
+        let n = 64;
+        let w = 8;
+        let mat = Matrix::<u64>::random(n, n, 37, 100);
+        let want = reference::sat(&mat);
+        let bands = even_bands(n / w, 4);
+        for kernel in [CoopKernel::SkssLb, CoopKernel::SkssSh] {
+            let (out1, rep1, _) = coop_run(kernel, 1, StealPolicy::Disabled, &mat, &bands, w);
+            assert_eq!(out1, want, "{kernel:?} single device");
+            for devices in [2, 4] {
+                for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                    let (out, rep, _) = coop_run(kernel, devices, policy, &mat, &bands, w);
+                    assert_eq!(out, want, "{kernel:?} {devices} devices {policy:?}");
+                    // Look-back traffic is schedule-dependent; the written
+                    // side of the protocol is not.
+                    assert_eq!(rep.stats.global_writes, rep1.stats.global_writes, "{kernel:?} {devices}");
+                    assert_eq!(rep.stats.bytes_written, rep1.stats.bytes_written, "{kernel:?} {devices}");
+                    assert_eq!(rep.stats.flag_publishes, rep1.stats.flag_publishes, "{kernel:?} {devices}");
+                }
+            }
+        }
+    }
+
+    /// The windowed look-back's bulk loads must split at the band boundary
+    /// and charge each remote row exactly like the scalar walk does. Run
+    /// the full protocol sequentially (deterministic schedule) with
+    /// per-tile `d2d_below` thresholds and compare the whole counter set
+    /// between the scalar (`window = 1`) and windowed walks.
+    #[test]
+    fn windowed_cross_band_lookback_charges_match_scalar() {
+        let n = 48;
+        let w = 8; // t = 6, band boundaries every 2 tile rows
+        let grid = TileGrid::new(n, w);
+        let mat = Matrix::<u64>::random(n, n, 99, 50);
+        let want = reference::sat(&mat);
+        let run = |window: usize| -> (Matrix<u64>, gpu_sim::metrics::BlockStats) {
+            let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Sequential);
+            let input = GlobalBuffer::from_slice(mat.as_slice());
+            let output = GlobalBuffer::<u64>::zeroed(n * n);
+            let state = State::<u64>::new(grid);
+            let m = gpu.launch(LaunchConfig::new("coop_window_parity", grid.tiles(), w * w), |ctx| {
+                let s = state.counter.next(ctx) as usize;
+                let (ti, tj) = skss_lb::tile_for_serial(s, grid.t);
+                let d2d_below = (ti / 2) * 2;
+                skss_lb::process_tile(
+                    ctx, &input, &output, &state, ti, tj,
+                    Arrangement::Diagonal, true, window, d2d_below,
+                );
+            });
+            (Matrix::from_vec(n, n, output.to_vec()), m.stats)
+        };
+        let (out_scalar, scalar) = run(1);
+        let (out_windowed, windowed) = run(DEFAULT_LOOKBACK_WINDOW);
+        assert_eq!(out_scalar, want);
+        assert_eq!(out_windowed, want);
+        assert!(scalar.d2d_transfers > 0, "remote paths were exercised");
+        assert_eq!(scalar.deterministic(), windowed.deterministic());
+    }
+}

@@ -53,6 +53,7 @@
 pub mod alg;
 pub mod analysis;
 pub mod batch;
+pub mod coop;
 pub mod cpu;
 pub mod filters;
 pub mod matrix;
@@ -76,6 +77,10 @@ pub mod prelude {
     pub use crate::batch::{
         sat_batch_multi_device, sat_batch_multi_device_policy, sat_batch_serial,
         sat_batch_streamed, BatchImage, BatchReport,
+    };
+    pub use crate::coop::{
+        even_bands, sat_huge_multi_device, sat_huge_multi_device_bands, CoopKernel, CoopReport,
+        COOP_BANDS,
     };
     pub use crate::matrix::Matrix;
     pub use crate::reference::RegionQuery;

@@ -75,6 +75,18 @@ pub struct DeviceConfig {
     /// waits complete within a few thousand iterations. Stress tests
     /// lower this to trigger the panic quickly.
     pub deadlock_limit: u64,
+    /// Sustained device-to-device interconnect bandwidth in bytes/second
+    /// (peer copies over NVLink/PCIe, not DRAM). Zhang et al.'s single- vs
+    /// multi-device synchronization study measures peer traffic at a small
+    /// fraction of local HBM2 bandwidth; cooperative band decompositions
+    /// pay this rate on every boundary exchange
+    /// ([`crate::metrics::BlockStats::charge_d2d`]).
+    pub d2d_bandwidth: f64,
+    /// Fixed one-way latency of a device-to-device transaction, in
+    /// seconds. An order of magnitude above [`DeviceConfig::flag_latency`]:
+    /// a cross-device flag or boundary row crosses the interconnect and
+    /// the remote copy engine, not just the local L2.
+    pub d2d_latency: f64,
 }
 
 impl DeviceConfig {
@@ -100,6 +112,8 @@ impl DeviceConfig {
             core_clock_hz: 1.455e9,
             host_workers: 8,
             deadlock_limit: 5_000_000,
+            d2d_bandwidth: 12.0e9,
+            d2d_latency: 1.5e-6,
         }
     }
 
@@ -172,6 +186,8 @@ impl DeviceConfig {
             core_clock_hz: 1.0e9,
             host_workers: 3,
             deadlock_limit: 5_000_000,
+            d2d_bandwidth: 4.0e9,
+            d2d_latency: 2.0e-6,
         }
     }
 
@@ -294,6 +310,17 @@ mod tests {
         assert_eq!(DeviceConfig::by_name("v100").unwrap().name, "Tesla V100 (projected)");
         assert_eq!(DeviceConfig::by_name("gtx1080").unwrap().sm_count, 20);
         assert!(DeviceConfig::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn d2d_link_is_much_slower_than_local_memory() {
+        // The whole point of modeling the interconnect separately: peer
+        // traffic must be priced far below local DRAM, and a cross-device
+        // flag far above a local one, on every preset.
+        for d in [DeviceConfig::titan_v(), DeviceConfig::v100(), DeviceConfig::gtx1080(), DeviceConfig::tiny()] {
+            assert!(d.d2d_bandwidth < d.saturated_bandwidth / 5.0, "{}", d.name);
+            assert!(d.d2d_latency > d.flag_latency, "{}", d.name);
+        }
     }
 
     #[test]

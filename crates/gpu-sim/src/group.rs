@@ -4,11 +4,17 @@
 //! A `DeviceGroup` owns N fully independent [`Gpu`] instances. Following
 //! real multi-GPU systems (Zhang et al., *"A Study of Single and
 //! Multi-device Synchronization Methods in Nvidia GPUs"*), the devices
-//! share **nothing** on the device side: each has its own worker pool, its
-//! own global-memory buffers, and its own streams. All cross-device
-//! coordination is host-mediated — the scheduler in this module is host
-//! code moving whole jobs between devices, never device code touching a
-//! peer's memory.
+//! share **nothing** on the device side by default: each has its own
+//! worker pool, its own global-memory buffers, and its own streams, and
+//! the scheduler in this module is host code moving whole jobs between
+//! devices. Cooperative workloads (`satcore::coop`) additionally let
+//! kernels on different devices exchange *boundary data* through
+//! peer-visible buffers: those transfers are charged through
+//! [`BlockStats::charge_d2d`](crate::metrics::BlockStats::charge_d2d) and
+//! their cross-device flag waits through
+//! [`StatusBoard::wait_at_least_remote`](crate::sync::StatusBoard::wait_at_least_remote),
+//! pricing the interconnect (`DeviceConfig::d2d_bandwidth` /
+//! `d2d_latency`) separately from local memory.
 //!
 //! ## The scheduler
 //!
@@ -372,6 +378,19 @@ impl GroupMetrics {
     /// device counts, steal interleavings, and dispatch orders.
     pub fn deterministic(&self) -> BlockStats {
         self.total_stats().deterministic()
+    }
+
+    /// Total device-to-device transfers across all lanes. Like every
+    /// other `stats` field this is a per-job sum, so it is deterministic;
+    /// the per-lane split shows *which* device paid for each exchange.
+    pub fn d2d_transfers(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stats.d2d_transfers).sum()
+    }
+
+    /// Total bytes moved across the device interconnect, summed over
+    /// lanes.
+    pub fn d2d_bytes(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stats.d2d_bytes).sum()
     }
 
     /// Modeled completion time of the batch: the devices run in parallel,

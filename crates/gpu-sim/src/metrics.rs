@@ -61,6 +61,18 @@ pub struct BlockStats {
     pub barriers: u64,
     /// Warp shuffle operations (one per lane-exchange step).
     pub warp_shuffles: u64,
+    /// Device-to-device transfers: one per peer-memory transaction
+    /// (boundary publication or remote boundary read) issued by a
+    /// cooperative multi-device kernel. Charged through
+    /// [`BlockStats::charge_d2d`] like every other memory class.
+    pub d2d_transfers: u64,
+    /// Bytes moved across the device interconnect by those transfers.
+    pub d2d_bytes: u64,
+    /// Backoff escalations inside *cross-device* flag waits
+    /// ([`crate::sync::StatusBoard::wait_at_least_remote`]). The remote
+    /// mirror of `flag_backoff_events`: schedule-dependent wall-clock
+    /// noise, excluded from `deterministic()` for the same reason.
+    pub d2d_backoff_events: u64,
 }
 
 /// The *accounting sink* (see `DESIGN.md`, "warp-transaction accounting
@@ -116,6 +128,18 @@ impl BlockStats {
     pub fn charge_shuffles(&mut self, count: u64) {
         self.warp_shuffles += count;
     }
+
+    /// Charge `transfers` device-to-device transactions moving `bytes`
+    /// across the interconnect. D2D traffic is deliberately *not* also
+    /// charged as global reads/writes: the timing model prices it through
+    /// its own latency/bandwidth terms (`DeviceConfig::d2d_latency`,
+    /// `DeviceConfig::d2d_bandwidth`), and double-charging would count the
+    /// same bytes in two pipelines.
+    #[inline(always)]
+    pub fn charge_d2d(&mut self, transfers: u64, bytes: u64) {
+        self.d2d_transfers += transfers;
+        self.d2d_bytes += bytes;
+    }
 }
 
 impl BlockStats {
@@ -136,6 +160,9 @@ impl BlockStats {
         self.flag_publishes += other.flag_publishes;
         self.barriers += other.barriers;
         self.warp_shuffles += other.warp_shuffles;
+        self.d2d_transfers += other.d2d_transfers;
+        self.d2d_bytes += other.d2d_bytes;
+        self.d2d_backoff_events += other.d2d_backoff_events;
     }
 
     /// The deterministic part of the counters: everything except spin-loop
@@ -145,6 +172,7 @@ impl BlockStats {
         let mut c = self.clone();
         c.flag_poll_iterations = 0;
         c.flag_backoff_events = 0;
+        c.d2d_backoff_events = 0;
         c
     }
 }
@@ -167,6 +195,9 @@ pub struct KernelAccumulator {
     flag_publishes: AtomicU64,
     barriers: AtomicU64,
     warp_shuffles: AtomicU64,
+    d2d_transfers: AtomicU64,
+    d2d_bytes: AtomicU64,
+    d2d_backoff_events: AtomicU64,
 }
 
 impl KernelAccumulator {
@@ -192,6 +223,10 @@ impl KernelAccumulator {
         self.flag_publishes.fetch_add(s.flag_publishes, Ordering::Relaxed);
         self.barriers.fetch_add(s.barriers, Ordering::Relaxed);
         self.warp_shuffles.fetch_add(s.warp_shuffles, Ordering::Relaxed);
+        self.d2d_transfers.fetch_add(s.d2d_transfers, Ordering::Relaxed);
+        self.d2d_bytes.fetch_add(s.d2d_bytes, Ordering::Relaxed);
+        self.d2d_backoff_events
+            .fetch_add(s.d2d_backoff_events, Ordering::Relaxed);
     }
 
     /// Snapshot the totals.
@@ -212,6 +247,9 @@ impl KernelAccumulator {
             flag_publishes: self.flag_publishes.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             warp_shuffles: self.warp_shuffles.load(Ordering::Relaxed),
+            d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
+            d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
+            d2d_backoff_events: self.d2d_backoff_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -369,11 +407,40 @@ mod tests {
         let mut a = stats(1, 1);
         a.flag_poll_iterations = 999;
         a.flag_backoff_events = 2;
+        a.d2d_backoff_events = 5;
         let mut b = stats(1, 1);
         b.flag_poll_iterations = 3;
         b.flag_backoff_events = 0;
+        b.d2d_backoff_events = 0;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());
+    }
+
+    #[test]
+    fn d2d_charges_flow_through_merge_and_accumulator() {
+        // The D2D class rides the same three-level accounting pipeline as
+        // every other counter: charge -> merge -> atomic absorb/snapshot.
+        let mut a = BlockStats::default();
+        a.charge_d2d(2, 1024);
+        let mut b = BlockStats::default();
+        b.charge_d2d(1, 256);
+        b.d2d_backoff_events = 3;
+        a.merge(&b);
+        assert_eq!(a.d2d_transfers, 3);
+        assert_eq!(a.d2d_bytes, 1280);
+        assert_eq!(a.d2d_backoff_events, 3);
+        // D2D traffic is its own class: no global read/write leakage.
+        assert_eq!(a.global_reads + a.global_writes, 0);
+        assert_eq!(a.bytes_read + a.bytes_written, 0);
+        let acc = KernelAccumulator::default();
+        acc.absorb(&a);
+        acc.absorb(&a);
+        let s = acc.snapshot();
+        assert_eq!(s.d2d_transfers, 6);
+        assert_eq!(s.d2d_bytes, 2560);
+        assert_eq!(s.d2d_backoff_events, 6);
+        assert_eq!(s.deterministic().d2d_backoff_events, 0, "remote backoff is schedule noise");
+        assert_eq!(s.deterministic().d2d_transfers, 6, "transfers themselves are deterministic");
     }
 
     #[test]

@@ -135,6 +135,23 @@ impl StatusBoard {
     /// schedule-dependent and excluded from
     /// [`BlockStats::deterministic`](crate::metrics::BlockStats::deterministic).
     pub fn wait_at_least(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
+        self.wait_inner(ctx, i, min, false)
+    }
+
+    /// [`StatusBoard::wait_at_least`] for a flag published by *another
+    /// device* of a [`crate::group::DeviceGroup`]. Identical protocol and
+    /// backoff ladder, but phase transitions charge `d2d_backoff_events`
+    /// instead of `flag_backoff_events`, so cross-device schedule noise is
+    /// attributable separately (and, like its local mirror, masked from
+    /// [`BlockStats::deterministic`](crate::metrics::BlockStats::deterministic)).
+    /// The data transfer the flag guards is charged by the caller through
+    /// [`BlockStats::charge_d2d`](crate::metrics::BlockStats::charge_d2d) —
+    /// the wait itself moves only the one-byte flag.
+    pub fn wait_at_least_remote(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
+        self.wait_inner(ctx, i, min, true)
+    }
+
+    fn wait_inner(&self, ctx: &mut BlockCtx, i: usize, min: u8, remote: bool) -> u8 {
         /// Polls spent in the bounded hot-spin phase.
         const SPIN_POLLS: u64 = 64;
         /// Cap of the exponential pause, in `spin_loop` hints per poll.
@@ -142,8 +159,22 @@ impl StatusBoard {
         /// Poll count at which yielding escalates to sleeping.
         const SLEEP_POLLS: u64 = 4096;
 
+        #[inline(always)]
+        fn escalate(ctx: &mut BlockCtx, remote: bool) {
+            if remote {
+                ctx.stats.d2d_backoff_events += 1;
+            } else {
+                ctx.stats.flag_backoff_events += 1;
+            }
+        }
+
         ctx.stats.flag_waits += 1;
-        let limit = ctx.config().deadlock_limit;
+        // A remote producer is a whole other device lane that may be several
+        // band-sized kernels away from publishing — legitimately orders of
+        // magnitude slower than any intra-launch dependency — so the
+        // stuck-wait bound scales up instead of misfiring on healthy
+        // cross-device latency.
+        let limit = ctx.config().deadlock_limit * if remote { 64 } else { 1 };
         let mut iters: u64 = 0;
         let mut pause: u32 = 1;
         loop {
@@ -154,7 +185,12 @@ impl StatusBoard {
                 ctx.trace(EventKind::FlagWaited { slot: i, seen: v });
                 return v;
             }
-            if ctx.is_sequential() {
+            if !remote && ctx.is_sequential() {
+                // A *remote* wait is exempt: its producer lives on another
+                // device lane running concurrently on its own host thread,
+                // so sequential execution of this device does not make the
+                // wait unsatisfiable. The deadlock_limit below still bounds
+                // a genuinely stuck remote wait.
                 panic!(
                     "soft-sync deadlock: block {} waits for flag[{i}] >= {min} \
                      (currently {v}) under sequential execution — the producer \
@@ -180,20 +216,20 @@ impl StatusBoard {
                 std::hint::spin_loop();
             } else if pause <= MAX_PAUSE {
                 if pause == 1 {
-                    ctx.stats.flag_backoff_events += 1; // hot spin -> backoff
+                    escalate(ctx, remote); // hot spin -> backoff
                 }
                 for _ in 0..pause {
                     std::hint::spin_loop();
                 }
                 pause <<= 1;
                 if pause > MAX_PAUSE {
-                    ctx.stats.flag_backoff_events += 1; // backoff -> yield
+                    escalate(ctx, remote); // backoff -> yield
                 }
             } else if iters < SLEEP_POLLS {
                 std::thread::yield_now();
             } else {
                 if iters == SLEEP_POLLS {
-                    ctx.stats.flag_backoff_events += 1; // yield -> sleep
+                    escalate(ctx, remote); // yield -> sleep
                 }
                 std::thread::sleep(std::time::Duration::from_micros(20));
             }
@@ -370,6 +406,45 @@ mod tests {
         let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort);
         assert_eq!(board.wait_at_least(&mut ctx, 0, 1), 1);
         assert_eq!(ctx.stats.flag_backoff_events, 0);
+    }
+
+    #[test]
+    fn remote_waits_charge_the_d2d_backoff_counter() {
+        // Same escalation ladder as `long_waits_record_backoff_transitions`,
+        // but through `wait_at_least_remote`: transitions land on
+        // `d2d_backoff_events`, the local counter stays untouched, and the
+        // remote counter is likewise masked from deterministic().
+        use crate::launch::ScratchArena;
+        use std::sync::atomic::AtomicBool;
+        let cfg = DeviceConfig::tiny();
+        let board = StatusBoard::new(1);
+        let abort = AtomicBool::new(false);
+        let stats = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let mut arena = ScratchArena::new();
+                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort);
+                board.publish(&mut ctx, 0, 1);
+            });
+            let mut arena = ScratchArena::new();
+            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort);
+            assert_eq!(board.wait_at_least_remote(&mut ctx, 0, 1), 1);
+            ctx.stats.clone()
+        });
+        assert_eq!(stats.flag_waits, 1, "remote waits still count as waits");
+        assert_eq!(stats.flag_backoff_events, 0, "local backoff counter untouched");
+        assert!(
+            (1..=3).contains(&stats.d2d_backoff_events),
+            "a multi-ms remote wait escalates 1..=3 times, got {}",
+            stats.d2d_backoff_events
+        );
+        assert_eq!(stats.deterministic().d2d_backoff_events, 0);
+
+        // A satisfied remote wait is pure hot path on either counter.
+        let mut arena = ScratchArena::new();
+        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort);
+        assert_eq!(board.wait_at_least_remote(&mut ctx, 0, 1), 1);
+        assert_eq!(ctx.stats.flag_backoff_events + ctx.stats.d2d_backoff_events, 0);
     }
 
     #[test]

@@ -53,12 +53,18 @@ pub struct KernelTime {
     /// Negligible for many-block kernels, decisive for the `2n/W - 1`
     /// small launches of 1R1W.
     pub drain: f64,
+    /// Device-to-device interconnect term, seconds: every peer transfer
+    /// pays [`DeviceConfig::d2d_latency`] and its bytes move at
+    /// [`DeviceConfig::d2d_bandwidth`]. Additive, not overlapped: boundary
+    /// exchanges of a cooperative band decomposition serialize against the
+    /// local pipeline (the consumer cannot start until the bytes land).
+    pub d2d: f64,
 }
 
 impl KernelTime {
     /// Total modeled seconds for the kernel.
     pub fn total(&self) -> f64 {
-        self.launch + self.traffic.max(self.shared) + self.critical_path + self.drain
+        self.launch + self.traffic.max(self.shared) + self.critical_path + self.drain + self.d2d
     }
 }
 
@@ -84,7 +90,10 @@ pub fn kernel_time(cfg: &DeviceConfig, k: &KernelMetrics) -> KernelTime {
         0.0
     };
 
-    KernelTime { launch: cfg.kernel_launch_overhead, traffic, shared, critical_path, drain }
+    let d2d = k.stats.d2d_transfers as f64 * cfg.d2d_latency
+        + k.stats.d2d_bytes as f64 / cfg.d2d_bandwidth;
+
+    KernelTime { launch: cfg.kernel_launch_overhead, traffic, shared, critical_path, drain, d2d }
 }
 
 /// Model a full run (sum over its kernel launches), in seconds.
@@ -194,6 +203,23 @@ mod tests {
             let err = (ms - paper_ms).abs() / paper_ms;
             assert!(err < 0.15, "n={n}: modeled {ms:.5} ms vs paper {paper_ms} ms (err {:.1}%)", err * 100.0);
         }
+    }
+
+    #[test]
+    fn d2d_term_is_additive_and_priced_on_the_interconnect() {
+        let cfg = DeviceConfig::titan_v();
+        let base = kernel(128, 1024, 1 << 20);
+        let mut peer = base.clone();
+        peer.stats.charge_d2d(4, 1 << 16);
+        let a = kernel_time(&cfg, &base);
+        let b = kernel_time(&cfg, &peer);
+        let expect = 4.0 * cfg.d2d_latency + (1u64 << 16) as f64 / cfg.d2d_bandwidth;
+        assert_eq!(a.d2d, 0.0);
+        assert!((b.d2d - expect).abs() < 1e-15);
+        // Additive on top of the unchanged local terms.
+        assert!((b.total() - a.total() - expect).abs() < 1e-12);
+        // The same bytes cost far more on the interconnect than in DRAM.
+        assert!(b.d2d > cfg.traffic_seconds(peer.threads(), 1 << 16));
     }
 
     #[test]

@@ -132,6 +132,11 @@ pub struct Config {
     /// exists to be no slower than the sequential loop (modulo pool
     /// overhead); a point below the floor sets `concurrent_regression`.
     pub conc_floor: f64,
+    /// Cooperative single-image sizes (empty = skip): each size is one
+    /// huge SAT row-band-split across a [`DeviceGroup`] at every
+    /// `--devices` count ([`satcore::coop`]), validated against the
+    /// reference SAT and gated on modeled scaling (`coop_regression`).
+    pub huge: Vec<usize>,
 }
 
 impl Default for Config {
@@ -152,6 +157,7 @@ impl Default for Config {
             devices: Vec::new(),
             perf_floor: 0.9,
             conc_floor: 0.95,
+            huge: Vec::new(),
         }
     }
 }
@@ -432,6 +438,127 @@ fn multi_device_regression(tp: &Throughput) -> bool {
         && !tp.device_sweep.is_empty()
 }
 
+/// One point of the cooperative huge-image sweep: one kernel family, one
+/// size, one device count.
+struct HugePoint {
+    alg: &'static str,
+    n: usize,
+    devices: usize,
+    wall_secs: f64,
+    /// Busiest lane's modeled clock for the banded single image.
+    modeled_secs: f64,
+    /// Single-device modeled time over this point's — the cooperative
+    /// speedup the group models for one image.
+    scaling: f64,
+    steal_events: usize,
+    d2d_transfers: u64,
+    d2d_bytes: u64,
+    output_match: bool,
+    counters_match: bool,
+}
+
+/// Minimum acceptable modeled cooperative scaling at a given device
+/// count: bands are balanced, so a group must deliver well over half its
+/// ideal speedup (2 devices -> 1.25x, 4 devices -> 2.5x — the latter is
+/// the repo's acceptance bar for the 16K² run).
+fn coop_scaling_floor(devices: usize) -> f64 {
+    0.625 * devices as f64
+}
+
+/// Run the cooperative huge-image sweep: for each `--huge` size, one SAT
+/// row-band-decomposed across a [`DeviceGroup`] at every device count,
+/// with both the eager-carry 2R1W pipeline and the cross-device look-back
+/// SKSS-LB kernel. Output is validated against the reference SAT at every
+/// point. Counters are compared against the same kernel's 1-device run:
+/// the 2R1W pipeline must match on the full deterministic set (its carry
+/// exchange reads bands in fixed order), the look-back kernel on the
+/// schedule-independent write side.
+fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
+    let params = SatParams::paper(cfg.w);
+    let mut counts = if cfg.devices.is_empty() { vec![1, 2, 4] } else { cfg.devices.clone() };
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    let mut points = Vec::new();
+    for &n in &cfg.huge {
+        let mat = Matrix::<u32>::random(n, n, 0xB16, 4);
+        let expect = satcore::reference::sat(&mat);
+        let input = mat.to_device();
+        let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
+        for (kernel, alg) in
+            [(CoopKernel::TwoROneW, "coop_2r1w"), (CoopKernel::SkssLb, "coop_skss_lb")]
+        {
+            let mut base: Option<(f64, gpu_sim::metrics::BlockStats)> = None;
+            for &devices in &counts {
+                output.host_fill(0);
+                let group = gpu_sim::group::DeviceGroup::new(device.clone(), devices.max(1));
+                let t0 = Instant::now();
+                let (report, gm) =
+                    sat_huge_multi_device(&group, params, kernel, &input, &output, n);
+                let wall_secs = t0.elapsed().as_secs_f64();
+                let output_match = Matrix::from_device(&output, n, n) == expect;
+                if !output_match {
+                    eprintln!("huge {alg} n={n}: WRONG SAT at {devices} devices");
+                }
+                let det = report.deterministic();
+                let modeled_secs = gm.modeled_completion_seconds();
+                let (base_secs, base_det) = base.get_or_insert((modeled_secs, det.clone()));
+                let counters_match = if kernel == CoopKernel::TwoROneW {
+                    // Eager carry: every charge is schedule-independent.
+                    det == *base_det
+                } else {
+                    // Look-back walk lengths depend on what the other
+                    // device has published; the write side does not.
+                    det.global_writes == base_det.global_writes
+                        && det.bytes_written == base_det.bytes_written
+                        && det.bank_conflict_cycles == base_det.bank_conflict_cycles
+                        && det.flag_publishes == base_det.flag_publishes
+                };
+                if !counters_match {
+                    eprintln!(
+                        "huge {alg} n={n}: counter drift at {devices} devices vs 1 device"
+                    );
+                }
+                let point = HugePoint {
+                    alg,
+                    n,
+                    devices: group.len(),
+                    wall_secs,
+                    modeled_secs,
+                    scaling: *base_secs / modeled_secs,
+                    steal_events: gm.steal_events(),
+                    d2d_transfers: gm.d2d_transfers(),
+                    d2d_bytes: gm.d2d_bytes(),
+                    output_match,
+                    counters_match,
+                };
+                eprintln!(
+                    "huge  {alg:<13} n={n:<6} {devices} device(s): modeled {:>9.3} ms \
+                     ({:.2}x 1-device), {} D2D transfers / {} bytes, {} steals, wall {:.3}s",
+                    point.modeled_secs * 1e3,
+                    point.scaling,
+                    point.d2d_transfers,
+                    point.d2d_bytes,
+                    point.steal_events,
+                    point.wall_secs,
+                );
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// Whether the cooperative sweep regressed: wrong output, counter drift,
+/// or modeled scaling under the per-device-count floor at any point.
+fn coop_regression(points: &[HugePoint]) -> bool {
+    points.iter().any(|p| {
+        !p.output_match
+            || !p.counters_match
+            || (p.devices > 1 && p.scaling < coop_scaling_floor(p.devices))
+    })
+}
+
 /// Run the sweep and return the JSON document.
 pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     let baseline_doc = cfg.baseline.as_ref().map(|p| {
@@ -546,6 +673,10 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     if let Some(tp) = &throughput {
         all_counters_match &= tp.counters_match;
     }
+    let huge = (!cfg.huge.is_empty()).then(|| run_huge(cfg, device));
+    if let Some(points) = &huge {
+        all_counters_match &= points.iter().all(|p| p.counters_match);
+    }
 
     // Same-run concurrent-vs-sequential gate: at every swept (alg, n),
     // the worker-pool executor must deliver at least `conc_floor` of the
@@ -582,7 +713,7 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
     doc.push_str(&format!("\"tile_width\":{},\n", cfg.w));
     doc.push_str(&format!("\"reps\":{},\n", cfg.reps));
     doc.push_str(&format!("\"warmup\":{},\n", cfg.warmup));
-    if baseline_doc.is_some() || throughput.is_some() {
+    if baseline_doc.is_some() || throughput.is_some() || huge.is_some() {
         doc.push_str(&format!("\"all_counters_match\":{all_counters_match},\n"));
     }
     if baseline_doc.is_some() {
@@ -651,6 +782,36 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
             doc.push_str("\n]},\n");
         }
     }
+    if let Some(points) = &huge {
+        doc.push_str(&format!("\"coop_regression\":{},\n", coop_regression(points)));
+        doc.push_str(&format!(
+            "\"huge\":{{\"bands\":{},\"sweep\":[",
+            satcore::coop::COOP_BANDS
+        ));
+        for (k, p) in points.iter().enumerate() {
+            if k > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "\n{{\"alg\":\"{}\",\"n\":{},\"devices\":{},\"modeled_secs\":{:.9},\
+                 \"scaling\":{:.3},\"steal_events\":{},\"d2d_transfers\":{},\
+                 \"d2d_bytes\":{},\"wall_secs\":{:.6},\"output_match\":{},\
+                 \"counters_match\":{}}}",
+                p.alg,
+                p.n,
+                p.devices,
+                p.modeled_secs,
+                p.scaling,
+                p.steal_events,
+                p.d2d_transfers,
+                p.d2d_bytes,
+                p.wall_secs,
+                p.output_match,
+                p.counters_match,
+            ));
+        }
+        doc.push_str("\n]},\n");
+    }
     doc.push_str("\"results\":[\n");
     for (k, e) in entries.iter().enumerate() {
         doc.push_str(&render_entry(e));
@@ -712,6 +873,7 @@ pub fn compare(
     new_doc: &str,
     floor: f64,
     throughput_floor: Option<f64>,
+    coop_floor: Option<f64>,
 ) -> (String, bool) {
     let old = parse_results(old_doc);
     let new = parse_results(new_doc);
@@ -776,12 +938,45 @@ pub fn compare(
             }
         }
     }
+    if let Some(cf) = coop_floor {
+        // Like the throughput gate, absolute on the new document: the
+        // 2-device cooperative run of every recorded huge size must keep
+        // modeling at least `cf`x one device, whatever the old file says.
+        let pts = coop_two_device_scalings(new_doc);
+        if pts.is_empty() {
+            regression = true;
+            out.push_str(&format!(
+                "coop: no 2-device cooperative point in new document (floor {cf:.2}x)\n"
+            ));
+        }
+        for (n, sc) in pts {
+            let slow = sc < cf;
+            regression |= slow;
+            out.push_str(&format!(
+                "coop: n={n} 2-device modeled scaling {sc:.2}x (floor {cf:.2}x){}\n",
+                if slow { "  REGRESSION" } else { "" }
+            ));
+        }
+    }
     out.push_str(&format!(
         "{compared}/{} points compared (floor {floor:.2}x): {}\n",
         old.len(),
         if regression { "REGRESSION" } else { "ok" }
     ));
     (out, regression)
+}
+
+/// `(n, scaling)` of every 2-device `coop_2r1w` point of a document's
+/// `--huge` cooperative sweep.
+fn coop_two_device_scalings(doc: &str) -> Vec<(usize, f64)> {
+    doc.lines()
+        .filter(|l| {
+            json_field(l, "alg") == Some("coop_2r1w") && json_field(l, "devices") == Some("2")
+        })
+        .filter_map(|l| {
+            Some((json_field(l, "n")?.parse().ok()?, json_field(l, "scaling")?.parse().ok()?))
+        })
+        .collect()
 }
 
 /// The streamed-vs-serial `speedup` of a document's `--throughput`
@@ -892,6 +1087,41 @@ mod tests {
         assert!(scaling > 1.5, "2-device scaling {scaling} too low\n{doc}");
     }
 
+    #[test]
+    fn huge_sweep_reports_cooperative_scaling_without_regression() {
+        let cfg = Config {
+            sizes: Vec::new(),
+            algs: vec!["nothing-matches-this".into()],
+            w: 8,
+            reps: 1,
+            warmup: 1,
+            devices: vec![1, 2],
+            huge: vec![128],
+            ..Config::default()
+        };
+        let doc = run(&cfg, &DeviceConfig::tiny());
+        assert!(doc.contains("\"coop_regression\":false"), "doc:\n{doc}");
+        assert!(doc.contains("\"huge\":{\"bands\":8,\"sweep\":["), "doc:\n{doc}");
+        for alg in ["coop_2r1w", "coop_skss_lb"] {
+            for devices in [1, 2] {
+                assert!(
+                    doc.contains(&format!("\"alg\":\"{alg}\",\"n\":128,\"devices\":{devices},")),
+                    "missing {alg}/{devices} point:\n{doc}"
+                );
+            }
+        }
+        assert!(doc.contains("\"output_match\":true"));
+        assert!(doc.contains("\"all_counters_match\":true"));
+        let scalings = coop_two_device_scalings(&doc);
+        assert_eq!(scalings.len(), 1);
+        assert!(scalings[0].1 >= 1.25, "2-device coop scaling {} too low\n{doc}", scalings[0].1);
+        // D2D traffic is present and priced: 8 bands exchange one boundary
+        // row per publish plus d pulls for band d.
+        let sweep_part = doc.split("\"alg\":\"coop_2r1w\",\"n\":128,\"devices\":2,").nth(1).unwrap();
+        let transfers: u64 = json_field(sweep_part, "d2d_transfers").unwrap().parse().unwrap();
+        assert_eq!(transfers, 8 + 8 * 7 / 2);
+    }
+
     fn doc_line(alg: &str, n: usize, mode: &str, melem_s: f64, counters: [u64; 5]) -> String {
         format!(
             "{{\"alg\":\"{alg}\",\"n\":{n},\"mode\":\"{mode}\",\"secs\":0.1,\
@@ -905,7 +1135,7 @@ mod tests {
     fn compare_passes_identical_documents() {
         let doc = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
             + &doc_line("skss", 1024, "concurrent", 90.0, [11, 5, 44, 20, 0]);
-        let (report, regression) = compare(&doc, &doc, 0.9, None);
+        let (report, regression) = compare(&doc, &doc, 0.9, None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("2/2 points compared"));
     }
@@ -914,11 +1144,11 @@ mod tests {
     fn compare_flags_throughput_below_floor() {
         let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
         let new = doc_line("skss", 1024, "sequential", 80.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &new, 0.9, None);
+        let (report, regression) = compare(&old, &new, 0.9, None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // The same slowdown passes a lower floor.
-        assert!(!compare(&old, &new, 0.75, None).1);
+        assert!(!compare(&old, &new, 0.75, None, None).1);
     }
 
     #[test]
@@ -934,20 +1164,48 @@ mod tests {
         let old = tp_line(1.70) + &results;
         // A healthy speedup passes the floor; context shows old -> new.
         let good = tp_line(1.45) + &results;
-        let (report, regression) = compare(&old, &good, 0.9, Some(1.3));
+        let (report, regression) = compare(&old, &good, 0.9, Some(1.3), None);
         assert!(!regression, "{report}");
         assert!(report.contains("1.70x -> 1.45x"), "{report}");
         // Below the floor fails, even if every sweep point is fine.
         let slow = tp_line(0.92) + &results;
-        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3));
+        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3), None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A document missing the measurement entirely also fails...
-        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3));
+        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3), None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
         // ...but only when the gate was requested.
-        assert!(!compare(&old, &results, 0.9, None).1);
+        assert!(!compare(&old, &results, 0.9, None, None).1);
+    }
+
+    #[test]
+    fn compare_gates_cooperative_scaling() {
+        let results = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let huge_line = |scaling: f64| {
+            format!(
+                "{{\"alg\":\"coop_2r1w\",\"n\":16384,\"devices\":2,\
+                 \"modeled_secs\":0.010000000,\"scaling\":{scaling:.3},\"steal_events\":0,\
+                 \"d2d_transfers\":36,\"d2d_bytes\":4718592,\"wall_secs\":1.0,\
+                 \"output_match\":true,\"counters_match\":true}}\n"
+            )
+        };
+        let good = huge_line(1.87) + &results;
+        let (report, regression) = compare(&results, &good, 0.9, None, Some(1.5));
+        assert!(!regression, "{report}");
+        assert!(report.contains("1.87x (floor 1.50x)"), "{report}");
+        // Below the floor fails.
+        let slow = huge_line(1.21) + &results;
+        let (report, regression) = compare(&results, &slow, 0.9, None, Some(1.5));
+        assert!(regression);
+        assert!(report.contains("REGRESSION"), "{report}");
+        // A document with no cooperative point fails the gate...
+        let (report, regression) = compare(&results, &results.clone(), 0.9, None, Some(1.5));
+        assert!(regression);
+        assert!(report.contains("no 2-device cooperative point"), "{report}");
+        // ...but only when the gate was requested.
+        assert!(!compare(&results, &results, 0.9, None, None).1);
     }
 
     #[test]
@@ -957,16 +1215,16 @@ mod tests {
         // Sequential read-count drift is a regression...
         let drift = doc_line("skss", 1024, "sequential", 100.0, [11, 5, 44, 20, 0])
             + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &drift, 0.9, None);
+        let (report, regression) = compare(&old, &drift, 0.9, None, None);
         assert!(regression);
         assert!(report.contains("COUNTER DRIFT"), "{report}");
         // ...but concurrent read-side drift is schedule noise, not one.
         let old_c = doc_line("skss", 1024, "concurrent", 100.0, [10, 5, 40, 20, 0]);
         let new_c = doc_line("skss", 1024, "concurrent", 100.0, [13, 5, 52, 20, 0]);
-        assert!(!compare(&old_c, &new_c, 0.9, None).1);
+        assert!(!compare(&old_c, &new_c, 0.9, None, None).1);
         // A point that vanished from the new document is a regression.
         let shrunk = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &shrunk, 0.9, None);
+        let (report, regression) = compare(&old, &shrunk, 0.9, None, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
     }

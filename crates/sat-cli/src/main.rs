@@ -82,12 +82,17 @@ fn usage() -> &'static str {
                            --algs substr,substr, --baseline FILE, --out FILE,\n\
                            --throughput [--batch N --batch-n SIDE --streams S\n\
                                          --devices 1,2,4 (multi-device scaling sweep)],\n\
+                           --huge 16384,32768 (cooperative single-image sweep: each\n\
+                                  size row-band-split across a DeviceGroup at every\n\
+                                  --devices count; gated by coop_regression),\n\
                            --perf-floor R (default 0.9, vs --baseline),\n\
                            --conc-floor R (default 0.95, concurrent vs sequential)\n\
        bench-compare  offline floor check of two committed BENCH_*.json files\n\
                   usage: bench-compare OLD.json NEW.json [--floor R (default 0.9)]\n\
                          [--throughput-floor S: fail if the new document's streamed\n\
                           batch speedup over serial is below S]\n\
+                         [--coop-floor C: fail if any 2-device cooperative huge-image\n\
+                          point of the new document models below Cx one device]\n\
        all        every report above, in order"
 }
 
@@ -162,6 +167,7 @@ fn main() -> ExitCode {
                 devices: parse_list(&args, "--devices", &defaults.devices),
                 perf_floor: parse_f64(&args, "--perf-floor", defaults.perf_floor),
                 conc_floor: parse_f64(&args, "--conc-floor", defaults.conc_floor),
+                huge: parse_list(&args, "--huge", &defaults.huge),
             };
             let doc = bench_json::run(&bcfg, gpu.config());
             match &bcfg.out {
@@ -191,6 +197,13 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            if doc.contains("\"coop_regression\":true") {
+                eprintln!(
+                    "cooperative regression: a huge-image point produced a wrong SAT, \
+                     drifted counters, or fell below the modeled scaling floor"
+                );
+                return ExitCode::FAILURE;
+            }
         }
         "bench-compare" => {
             let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
@@ -205,8 +218,10 @@ fn main() -> ExitCode {
             let floor = parse_f64(&args, "--floor", 0.9);
             let tp_floor = parse_opt(&args, "--throughput-floor")
                 .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --throughput-floor: {v}")));
+            let coop_floor = parse_opt(&args, "--coop-floor")
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --coop-floor: {v}")));
             let (report, regression) =
-                bench_json::compare(&read(old_path), &read(new_path), floor, tp_floor);
+                bench_json::compare(&read(old_path), &read(new_path), floor, tp_floor, coop_floor);
             print!("{report}");
             if regression {
                 return ExitCode::FAILURE;

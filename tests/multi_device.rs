@@ -116,3 +116,103 @@ fn four_device_group_scales_modeled_throughput() {
     let scaling = g1.modeled_completion_seconds() / g4.modeled_completion_seconds();
     assert!(scaling >= 2.5, "4-device modeled scaling {scaling:.2}x below the 2.5x bar");
 }
+
+#[test]
+fn cooperative_huge_image_scales_across_devices() {
+    // One 256² image band-split across the group (satcore::coop): output
+    // must equal the reference SAT at every device count, the eager-carry
+    // 2R1W counters must be bit-identical to the 1-device run, and 4
+    // devices must model at least the same 2.5x bar the batch sweep holds.
+    let params = SatParams { w: W, threads_per_block: 64 };
+    let n = 256;
+    let mat = Matrix::<u32>::random(n, n, 0xC00F, 16);
+    let expect = satcore::reference::sat(&mat);
+    let input = mat.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
+
+    let g1 = DeviceGroup::new(DeviceConfig::tiny(), 1);
+    let (r1, m1) =
+        sat_huge_multi_device(&g1, params, CoopKernel::TwoROneW, &input, &output, n);
+    assert_eq!(Matrix::from_device(&output, n, n), expect, "1 device");
+
+    for devices in [2, 4] {
+        output.host_fill(0);
+        let group = DeviceGroup::new(DeviceConfig::tiny(), devices);
+        let (r, m) =
+            sat_huge_multi_device(&group, params, CoopKernel::TwoROneW, &input, &output, n);
+        assert_eq!(Matrix::from_device(&output, n, n), expect, "{devices} devices");
+        assert_eq!(r.deterministic(), r1.deterministic(), "{devices} devices: counters");
+        assert_eq!(m.d2d_transfers(), m1.d2d_transfers(), "{devices} devices: D2D transfers");
+        let scaling = m1.modeled_completion_seconds() / m.modeled_completion_seconds();
+        let floor = if devices == 4 { 2.5 } else { 1.5 };
+        assert!(
+            scaling >= floor,
+            "{devices}-device cooperative scaling {scaling:.2}x below {floor}x"
+        );
+    }
+}
+
+#[test]
+fn cooperative_skewed_bands_steal_beats_static_and_conserves_work() {
+    // Uneven band heights put the heavy bands in the second half, so the
+    // 2-device contiguous split seeds device 1 with 7x device 0's rows.
+    // Device 0 drains its tiny bands and must steal heavy bands off the
+    // back of device 1's queue. Steals are gated on the victims' simulated
+    // clocks, which only advance at job completion, so the victim needs a
+    // multi-band backlog for an eligibility window to exist at all — four
+    // heavy bands, not one monolithic one. Stealing must cut the modeled
+    // makespan well below the static split while the per-band sum of
+    // modeled work — device-seconds — stays exactly put.
+    let params = SatParams { w: W, threads_per_block: 64 };
+    let n = 256; // t = 32 tile rows
+    let band_rows = [1, 1, 1, 1, 7, 7, 7, 7];
+    let mat = Matrix::<u32>::random(n, n, 0x5CE3, 16);
+    let expect = satcore::reference::sat(&mat);
+    let input = mat.to_device();
+    let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
+    let group = DeviceGroup::new(DeviceConfig::tiny(), 2);
+
+    let (static_report, static_gm) = sat_huge_multi_device_bands(
+        &group, params, CoopKernel::TwoROneW, &input, &output, n, &band_rows,
+        StealPolicy::Disabled,
+    );
+    assert_eq!(Matrix::from_device(&output, n, n), expect, "static schedule");
+    assert_eq!(static_gm.steal_events(), 0);
+    assert!(
+        static_gm.lanes[1].modeled_seconds > 2.0 * static_gm.lanes[0].modeled_seconds,
+        "the band layout is not actually skewed: {:?}",
+        static_gm.lanes.iter().map(|l| l.modeled_seconds).collect::<Vec<_>>()
+    );
+
+    // Steal engagement depends on when the idle device observes the
+    // backlog in host time; retry like the batch test does.
+    let mut engaged = None;
+    for attempt in 0..5 {
+        output.host_fill(0);
+        let (report, gm) = sat_huge_multi_device_bands(
+            &group, params, CoopKernel::TwoROneW, &input, &output, n, &band_rows,
+            StealPolicy::StealOnIdle,
+        );
+        assert_eq!(Matrix::from_device(&output, n, n), expect, "steal schedule (attempt {attempt})");
+        assert_eq!(
+            report.deterministic(),
+            static_report.deterministic(),
+            "steal schedule changed the counters (attempt {attempt})"
+        );
+        if gm.steal_events() > 0 {
+            engaged = Some(gm);
+            break;
+        }
+    }
+    let steal_gm = engaged.expect("no steals in 5 runs against a shard holding both heavy bands");
+    assert!(
+        steal_gm.modeled_completion_seconds() < 0.8 * static_gm.modeled_completion_seconds(),
+        "stealing did not beat static bands: {:.6}s vs {:.6}s",
+        steal_gm.modeled_completion_seconds(),
+        static_gm.modeled_completion_seconds()
+    );
+    assert!(
+        (steal_gm.modeled_device_seconds() - static_gm.modeled_device_seconds()).abs() < 1e-9,
+        "total modeled work drifted between schedules"
+    );
+}

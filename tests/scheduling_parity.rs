@@ -139,6 +139,79 @@ fn multi_device_batch_counters_are_schedule_invariant() {
 }
 
 #[test]
+fn cooperative_huge_image_counters_are_schedule_invariant() {
+    // Cooperative band decomposition of ONE image across the group: the
+    // SAT must be bit-identical to the reference for every device count,
+    // dispatch order, and steal policy. The eager-carry 2R1W pipeline
+    // resolves inter-band dependencies with fixed-order carry reductions,
+    // so its full deterministic counter set is schedule-invariant; the
+    // look-back kernels walk as far as the physical schedule lets them, so
+    // — exactly as in the single-device test above — parity for those is
+    // asserted on the schedule-independent subset.
+    let params = SatParams { w: W, threads_per_block: 64 };
+    let n = 128;
+    let a = Matrix::<u32>::random(n, n, 0xC0DE, 16);
+    let expect = satcore::reference::sat(&a);
+    let input = a.to_device();
+    let output = GlobalBuffer::<u32>::zeroed(n * n);
+
+    for kernel in [CoopKernel::TwoROneW, CoopKernel::SkssLb, CoopKernel::SkssSh] {
+        let base_group = DeviceGroup::new(DeviceConfig::tiny(), 1);
+        let (base, _) = sat_huge_multi_device(&base_group, params, kernel, &input, &output, n);
+        assert_eq!(Matrix::from_device(&output, n, n), expect, "{}: reference run", kernel.name());
+        let reference = base.deterministic();
+        let lookback = reference.flag_waits > 0;
+
+        for devices in [1, 2, 4] {
+            for dispatch in [DispatchOrder::InOrder, DispatchOrder::Random(5)] {
+                for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                    output.host_fill(0);
+                    let group =
+                        DeviceGroup::new(DeviceConfig::tiny(), devices).with_dispatch(dispatch);
+                    let (report, gm) = sat_huge_multi_device_bands(
+                        &group,
+                        params,
+                        kernel,
+                        &input,
+                        &output,
+                        n,
+                        &even_bands(n / W, COOP_BANDS),
+                        policy,
+                    );
+                    let tag =
+                        format!("{} ({devices} devices, {dispatch:?}, {policy:?})", kernel.name());
+                    assert_eq!(Matrix::from_device(&output, n, n), expect, "{tag}: wrong SAT");
+                    let got = report.deterministic();
+                    if lookback {
+                        assert_eq!(got.global_writes, reference.global_writes, "{tag}: writes");
+                        assert_eq!(
+                            got.bytes_written, reference.bytes_written,
+                            "{tag}: write bytes"
+                        );
+                        assert_eq!(
+                            got.bank_conflict_cycles, reference.bank_conflict_cycles,
+                            "{tag}: bank conflicts"
+                        );
+                        assert_eq!(
+                            got.flag_publishes, reference.flag_publishes,
+                            "{tag}: publishes"
+                        );
+                    } else {
+                        assert_eq!(got, reference, "{tag}: deterministic counters drifted");
+                        assert_eq!(
+                            gm.deterministic(),
+                            reference,
+                            "{tag}: group counters drifted"
+                        );
+                    }
+                    assert_eq!(gm.total_jobs(), COOP_BANDS, "{tag}: lost or duplicated bands");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn duplication_baseline_is_schedule_invariant() {
     // The duplication baseline is not a `SatAlgorithm`; cover it directly.
     let a = Matrix::<u32>::random(N, N, 0xD0B, 16);
