@@ -48,6 +48,20 @@
 //! later band, and every wait is eventually satisfied. On one device the
 //! bands run in ascending order and every cross-band wait is pre-satisfied.
 //!
+//! Host cost of waiting: both pipelines funnel every cross-band wait
+//! through `StatusBoard`, so they inherit its parked-wait path for free —
+//! a band blocked on an earlier band's flag registers as a waiter, hands
+//! its execution token back to the device's worker pool, and burns no
+//! host CPU until the publishing band wakes it (see the gpu-sim module
+//! docs on host execution vs modeled time; `GPU_SIM_NO_PARK=1` restores
+//! the spinning ladder). Parking changes *when* a look-back walk observes
+//! remote flags, so schedule-dependent traffic counters (`d2d_transfers`
+//! on the look-back read side, poll/backoff/park events) may shift; the
+//! deterministic counter subset and the numeric output must not — the
+//! carry accumulation in `TwoROneW` reads bands in ascending order
+//! regardless of wake order, and the look-back sum order is fixed by the
+//! walk itself.
+//!
 //! [`BlockStats::charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
 //! [`charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
 //! [`StatusBoard::wait_at_least_remote`]: gpu_sim::sync::StatusBoard::wait_at_least_remote
@@ -118,6 +132,15 @@ impl CoopReport {
     /// counts, dispatch orders, and steal policies.
     pub fn deterministic(&self) -> BlockStats {
         self.stats.deterministic()
+    }
+
+    /// The schedule-independent part for the look-back pipelines
+    /// ([`CoopKernel::SkssLb`] / [`CoopKernel::SkssSh`]): additionally
+    /// masks the walk's read side
+    /// ([`BlockStats::deterministic_lookback`]), which varies with what
+    /// the remote band had published when the walk looked.
+    pub fn deterministic_lookback(&self) -> BlockStats {
+        self.stats.deterministic_lookback()
     }
 }
 
@@ -461,6 +484,57 @@ mod tests {
                     "{devices} devices, {policy:?}"
                 );
                 assert_eq!(gm.d2d_transfers(), gm1.d2d_transfers());
+            }
+        }
+    }
+
+    #[test]
+    fn coop_counters_identical_with_and_without_parking() {
+        // The park/wake path may change host scheduling but must not leak
+        // into results: outputs, deterministic counters, and (for the
+        // eager-exchange pipeline, whose transfers are schedule-free)
+        // d2d traffic all match between a parked and a spinning run.
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                gpu_sim::sync::set_force_no_park(false);
+            }
+        }
+        let _restore = Restore;
+        let n = 64;
+        let w = 8;
+        let mat = Matrix::<u64>::random(n, n, 53, 100);
+        let want = reference::sat(&mat);
+        let bands = even_bands(n / w, 4);
+        for kernel in [CoopKernel::TwoROneW, CoopKernel::SkssLb] {
+            gpu_sim::sync::set_force_no_park(false);
+            let (out_park, rep_park, gm_park) =
+                coop_run(kernel, 2, StealPolicy::StealOnIdle, &mat, &bands, w);
+            gpu_sim::sync::set_force_no_park(true);
+            let (out_spin, rep_spin, gm_spin) =
+                coop_run(kernel, 2, StealPolicy::StealOnIdle, &mat, &bands, w);
+            gpu_sim::sync::set_force_no_park(false);
+            assert_eq!(out_park, want, "{kernel:?} parked");
+            assert_eq!(out_spin, want, "{kernel:?} spinning");
+            // Look-back read-side counters are schedule noise (see
+            // `deterministic_lookback`); everything else must match
+            // bit-for-bit between the parked and spinning hosts.
+            let (det_park, det_spin) = if kernel == CoopKernel::SkssLb {
+                (rep_park.deterministic_lookback(), rep_spin.deterministic_lookback())
+            } else {
+                (rep_park.deterministic(), rep_spin.deterministic())
+            };
+            assert_eq!(
+                det_park, det_spin,
+                "{kernel:?}: parking must not change deterministic counters"
+            );
+            assert_eq!(
+                rep_spin.stats.park_events, 0,
+                "{kernel:?}: the kill-switch must suppress parking entirely"
+            );
+            if kernel == CoopKernel::TwoROneW {
+                assert_eq!(gm_park.d2d_transfers(), gm_spin.d2d_transfers(), "{kernel:?}");
+                assert_eq!(gm_park.d2d_bytes(), gm_spin.d2d_bytes(), "{kernel:?}");
             }
         }
     }

@@ -20,6 +20,23 @@
 //! [`BlockCtx::abort_requested`]), and the submitter re-raises the payload
 //! from [`LaunchJob::wait`], so `#[should_panic]` tests behave identically
 //! in sequential and concurrent mode.
+//!
+//! ## Execution tokens and parked-wait handoff
+//!
+//! Bounded residency is enforced by **tokens**, not by the thread count:
+//! the pool starts with one token per base worker, and a thread must hold
+//! a token to claim blocks off a job. When a block parks inside a flag
+//! wait ([`crate::sync::StatusBoard::wait_at_least`]), it returns its
+//! token through [`PoolShared::park_begin`] so the residency slot is not
+//! wasted on a sleeper: an idle thread is woken — or, if none exists and
+//! unclaimed work is pending, a bounded *standby* thread is spawned — to
+//! run other ready blocks. On wake the block re-acquires through
+//! [`PoolShared::park_end`], which never blocks: the token count may go
+//! transiently negative ("debt", repaid by the next release), because
+//! making a woken waiter queue for a token could deadlock the very chain
+//! that woke it. OS threads may therefore briefly oversubscribe the base
+//! worker count (bounded by `max_threads`), but *runnable* block count
+//! stays residency-bounded and parked threads burn no CPU.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -207,7 +224,7 @@ impl LaunchJob {
     /// run the stream's next launch directly (see
     /// [`StreamShared::on_job_complete`]); the worker loop chains it
     /// without a queue round-trip.
-    fn run_blocks(&self, pool: &PoolShared, arena: &mut ScratchArena) -> Option<Arc<LaunchJob>> {
+    fn run_blocks(&self, pool: &Arc<PoolShared>, arena: &mut ScratchArena) -> Option<Arc<LaunchJob>> {
         let mut local = BlockStats::default();
         let mut ran = 0usize;
         loop {
@@ -226,6 +243,7 @@ impl LaunchJob {
                         self.tracer.get(),
                         arena,
                         &self.aborted,
+                        Some(pool),
                     );
                     ctx.trace(EventKind::BlockStart);
                     self.body.call(&mut ctx);
@@ -325,15 +343,39 @@ impl LaunchJob {
 struct QueueState {
     jobs: VecDeque<Arc<LaunchJob>>,
     shutdown: bool,
+    /// Execution tokens available for claiming blocks. Starts at the base
+    /// worker count; goes up when a thread finishes a job chain or parks
+    /// in a flag wait ([`PoolShared::park_begin`]), down when a thread
+    /// claims a job or un-parks ([`PoolShared::park_end`]). May go
+    /// *negative*: a woken waiter re-acquires in debt rather than
+    /// blocking, so the wake chain that satisfied its flag can never
+    /// deadlock on token starvation. The debt is repaid by the next
+    /// release before any new block is admitted.
+    tokens: isize,
+    /// Threads currently blocked on `ready` (no job, or no token).
+    idle: usize,
+    /// Total live threads (base workers + standbys), bounding standby
+    /// spawns at `PoolShared::max_threads`.
+    threads: usize,
 }
 
 /// State shared between the pool handle and its worker threads.
 pub(crate) struct PoolShared {
     queue: Mutex<QueueState>,
     ready: Condvar,
-    /// Number of worker threads parked on `ready` (fixed at pool startup);
+    /// Number of base worker threads (== the initial token count);
     /// lets `submit` wake only as many workers as a small job can use.
     workers: usize,
+    /// Hard cap on live threads: base workers plus the standby budget.
+    /// Once reached, a park stops spawning replacements — unclaimed
+    /// blocks then wait for a running thread to free up, which the
+    /// virtual-ID wait discipline guarantees always happens.
+    max_threads: usize,
+    /// Owning device's group ordinal, for standby thread names.
+    ordinal: usize,
+    /// Join handles of standby threads spawned by `park_begin`; joined
+    /// alongside the base workers at pool drop.
+    standby: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl PoolShared {
@@ -370,9 +412,61 @@ impl PoolShared {
     pub(crate) fn workers(&self) -> usize {
         self.workers
     }
+
+    /// A parking flag waiter hands its execution token back to the pool
+    /// (see the module docs): if unclaimed work is pending and a token is
+    /// now free, an idle thread is woken to take it — or, when every live
+    /// thread is busy or parked, a standby thread is spawned, up to
+    /// `max_threads`. Called by
+    /// [`StatusBoard`](crate::sync::StatusBoard) before the first timed
+    /// park of a wait; balanced by exactly one [`PoolShared::park_end`].
+    pub(crate) fn park_begin(self: &Arc<Self>) {
+        let mut q = self.queue.lock().unwrap();
+        q.tokens += 1;
+        if q.tokens <= 0 || !q.jobs.iter().any(|j| !j.exhausted()) {
+            return;
+        }
+        if q.idle > 0 {
+            drop(q);
+            self.ready.notify_one();
+        } else if q.threads < self.max_threads {
+            q.threads += 1;
+            drop(q);
+            self.spawn_standby();
+        }
+    }
+
+    /// Re-acquire an execution token after a parked wait was satisfied.
+    /// Never blocks: the count may go negative (debt), transiently
+    /// oversubscribing runnable threads instead of risking a deadlock in
+    /// which every token is held by a thread that transitively depends on
+    /// this waiter.
+    pub(crate) fn park_end(&self) {
+        self.queue.lock().unwrap().tokens -= 1;
+    }
+
+    /// Return the token held while running a job chain; wakes a waiting
+    /// thread when claimable work is pending.
+    fn release_token(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.tokens += 1;
+        if q.tokens > 0 && q.idle > 0 && q.jobs.iter().any(|j| !j.exhausted()) {
+            drop(q);
+            self.ready.notify_one();
+        }
+    }
+
+    fn spawn_standby(self: &Arc<Self>) {
+        let shared = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("gpu-sim-d{}-standby", self.ordinal))
+            .spawn(move || worker_loop(&shared))
+            .expect("spawn gpu-sim standby worker");
+        self.standby.lock().unwrap().push(h);
+    }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &Arc<PoolShared>) {
     // The arena persists across launches: a worker that just ran kernel K
     // serves kernel K+1's scratch takes from warm buffers.
     let mut arena = ScratchArena::new();
@@ -384,22 +478,33 @@ fn worker_loop(shared: &PoolShared) {
                 // still running them; drop them from the queue so newer
                 // jobs (e.g. other streams) can overlap.
                 q.jobs.retain(|j| !j.exhausted());
-                if let Some(j) = q.jobs.front() {
-                    break Arc::clone(j);
+                // Claiming needs both a job and an execution token — a
+                // thread without a token (all handed to parked waiters'
+                // debts) waits like one without work, keeping runnable
+                // blocks residency-bounded.
+                if q.tokens > 0 {
+                    if let Some(j) = q.jobs.front().map(Arc::clone) {
+                        q.tokens -= 1;
+                        break j;
+                    }
                 }
                 if q.shutdown {
                     return;
                 }
+                q.idle += 1;
                 q = shared.ready.wait(q).unwrap();
+                q.idle -= 1;
             }
         };
         // A completing stream job may hand back the stream's next launch;
         // run it on this worker's warm arena instead of paying the queue
-        // lock + condvar wake for every kernel of a long pipeline.
+        // lock + condvar wake for every kernel of a long pipeline. The
+        // token is held across the whole chain.
         let mut job = job;
         while let Some(next) = job.run_blocks(shared, &mut arena) {
             job = next;
         }
+        shared.release_token();
     }
 }
 
@@ -424,9 +529,20 @@ impl WorkerPool {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let workers = cfg.host_workers.max(1).min(cores);
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(QueueState::default()),
+            queue: Mutex::new(QueueState {
+                tokens: workers as isize,
+                threads: workers,
+                ..QueueState::default()
+            }),
             ready: Condvar::new(),
             workers,
+            // Standby budget: enough replacements that a full complement
+            // of simultaneously parked workers still leaves `workers`
+            // runnable threads plus headroom for parked standbys, without
+            // letting a pathological park storm spawn without bound.
+            max_threads: workers + workers.max(8),
+            ordinal,
+            standby: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|k| {
@@ -451,6 +567,12 @@ impl Drop for WorkerPool {
         self.shared.queue.lock().unwrap().shutdown = true;
         self.ready_all();
         for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Standby threads spawned by parked-wait handoffs exit through the
+        // same shutdown flag; no launch is in flight at engine drop, so
+        // they are all idle by now.
+        for h in self.shared.standby.lock().unwrap().drain(..) {
             let _ = h.join();
         }
     }

@@ -52,7 +52,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::device::DeviceConfig;
@@ -182,6 +182,7 @@ impl DeviceGroup {
         let clocks: Vec<AtomicU64> = (0..nd).map(|_| AtomicU64::new(0f64.to_bits())).collect();
         let abort = AtomicBool::new(false);
         let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let progress = Progress::default();
 
         let lanes: Vec<DeviceLane> = std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -189,10 +190,10 @@ impl DeviceGroup {
                 .iter()
                 .enumerate()
                 .map(|(d, gpu)| {
-                    let (shards, clocks, abort, first_panic, run) =
-                        (&shards, &clocks, &abort, &first_panic, &run);
+                    let (shards, clocks, abort, first_panic, progress, run) =
+                        (&shards, &clocks, &abort, &first_panic, &progress, &run);
                     s.spawn(move || {
-                        drive_lane(d, gpu, shards, clocks, policy, abort, first_panic, run)
+                        drive_lane(d, gpu, shards, clocks, policy, abort, first_panic, progress, run)
                     })
                 })
                 .collect();
@@ -209,6 +210,46 @@ impl DeviceGroup {
     }
 }
 
+/// Batch progress signal: a generation counter bumped (with a broadcast
+/// wake) whenever any lane completes a job or the batch aborts. Lanes
+/// whose simulated clock is ahead of every victim's wait here instead of
+/// sleeping blind — the same parked-over-spinning trade
+/// [`sync::parking_enabled`](crate::sync::parking_enabled) governs for
+/// flag waits, so the same kill-switch reverts it. The 200µs timeout
+/// backstop means correctness never depends on a wake arriving.
+#[derive(Default)]
+struct Progress {
+    generation: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl Progress {
+    /// Record one unit of forward progress and wake every waiting lane
+    /// (each re-evaluates steal eligibility itself — clocks live outside
+    /// this lock, so a targeted wake is not possible or necessary).
+    fn bump(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.advanced.notify_all();
+    }
+
+    /// Wait until the generation moves past `seen` or ~200µs elapses.
+    fn wait_past(&self, seen: u64) {
+        let g = self.generation.lock().unwrap();
+        if *g != seen {
+            return;
+        }
+        drop(
+            self.advanced
+                .wait_timeout_while(g, Duration::from_micros(200), |g| *g == seen)
+                .unwrap(),
+        );
+    }
+
+    fn current(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+}
+
 /// The per-device driver loop: pop own shard from the front, steal from
 /// eligible victims' backs, park briefly when neither applies.
 #[allow(clippy::too_many_arguments)]
@@ -220,6 +261,7 @@ fn drive_lane<J, F>(
     policy: StealPolicy,
     abort: &AtomicBool,
     first_panic: &Mutex<Option<Box<dyn Any + Send>>>,
+    progress: &Progress,
     run: &F,
 ) -> DeviceLane
 where
@@ -256,6 +298,10 @@ where
                         lane.stats.merge(&rm.total_stats());
                         lane.modeled_seconds += run_seconds(gpu.config(), &rm);
                         clocks[d].store(lane.modeled_seconds.to_bits(), Ordering::Release);
+                        // Clock advance may make this lane a legal victim:
+                        // broadcast after the store so a waiter that wakes
+                        // is guaranteed to see the new clock.
+                        progress.bump();
                     }
                     Err(p) => {
                         abort.store(true, Ordering::Relaxed);
@@ -263,11 +309,17 @@ where
                         if fp.is_none() {
                             *fp = Some(p);
                         }
+                        progress.bump();
                         break;
                     }
                 }
             }
             None => {
+                // Capture the generation before re-checking the shards:
+                // any progress after this point bumps it, so the wait
+                // below cannot sleep through the wake that would have
+                // made a victim eligible.
+                let seen = progress.current();
                 if shards.iter().all(|sh| sh.lock().unwrap().is_empty()) {
                     break;
                 }
@@ -277,11 +329,16 @@ where
                     break;
                 }
                 // Work exists but this lane's simulated clock is ahead of
-                // every victim's: park briefly and re-check. The owners
-                // keep draining, so their clocks advance and eligibility
-                // returns (or the shards empty and the loop exits).
-                std::thread::yield_now();
-                std::thread::sleep(Duration::from_micros(50));
+                // every victim's: wait for another lane to report progress
+                // (their clocks advance and eligibility returns, or the
+                // shards empty and the loop exits). Under GPU_SIM_NO_PARK
+                // fall back to the original blind yield + sleep poll.
+                if crate::sync::parking_enabled() {
+                    progress.wait_past(seen);
+                } else {
+                    std::thread::yield_now();
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
         }
     }

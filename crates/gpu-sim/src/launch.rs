@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use crate::device::DeviceConfig;
 use crate::elem::DeviceElem;
-use crate::executor::{Body, BorrowedBody, LaunchJob, TracerRef, WorkerPool};
+use crate::executor::{Body, BorrowedBody, LaunchJob, PoolShared, TracerRef, WorkerPool};
 use crate::metrics::{BlockStats, CriticalPath, KernelAccumulator, KernelMetrics};
 use crate::stream::Stream;
 use crate::trace::{EventKind, Tracer};
@@ -221,6 +221,12 @@ pub struct BlockCtx<'a> {
     /// soft-sync waits poll it so consumers of a dead producer fail fast
     /// instead of spinning to the deadlock limit.
     abort: Option<&'a AtomicBool>,
+    /// The worker pool executing this block, when there is one: parked
+    /// flag waits hand their execution token back through it
+    /// ([`PoolShared::park_begin`]). `None` for sequential blocks, the
+    /// one-block inline fast path, and group driver threads — those parks
+    /// have no token to return.
+    pool: Option<&'a Arc<PoolShared>>,
     /// The block's access counters; buffer and tile accessors charge here.
     pub stats: BlockStats,
 }
@@ -234,6 +240,7 @@ impl<'a> BlockCtx<'a> {
         tracer: Option<&'a Tracer>,
         arena: &'a mut ScratchArena,
         abort: &'a AtomicBool,
+        pool: Option<&'a Arc<PoolShared>>,
     ) -> Self {
         BlockCtx {
             block_idx,
@@ -243,6 +250,7 @@ impl<'a> BlockCtx<'a> {
             tracer,
             arena,
             abort: Some(abort),
+            pool,
             stats: BlockStats::default(),
         }
     }
@@ -250,6 +258,13 @@ impl<'a> BlockCtx<'a> {
     /// Whether the launch was aborted because another block panicked.
     pub(crate) fn abort_requested(&self) -> bool {
         self.abort.is_some_and(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// A clonable handle to the pool running this block, if any — taken by
+    /// parked flag waits so the token-handoff guard can outlive the
+    /// borrow of `self`.
+    pub(crate) fn pool_handle(&self) -> Option<Arc<PoolShared>> {
+        self.pool.cloned()
     }
 
     /// The block's index within the grid (CUDA `blockIdx.x`). Note this is
@@ -539,6 +554,7 @@ impl Gpu {
                         tracer,
                         arena,
                         abort: None,
+                        pool: None,
                         stats: BlockStats::default(),
                     };
                     ctx.trace(EventKind::BlockStart);
@@ -592,6 +608,7 @@ impl Gpu {
                         tracer,
                         arena,
                         abort: None,
+                        pool: None,
                         stats: BlockStats::default(),
                     };
                     ctx.trace(EventKind::BlockStart);

@@ -73,6 +73,17 @@ pub struct BlockStats {
     /// mirror of `flag_backoff_events`: schedule-dependent wall-clock
     /// noise, excluded from `deterministic()` for the same reason.
     pub d2d_backoff_events: u64,
+    /// Times a flag wait parked on a condvar (one per registration +
+    /// timed wait, local or remote) after exhausting the bounded hot
+    /// spin. Pure host-scheduling noise like `flag_backoff_events`:
+    /// whether a wait parks at all depends on when the producer's OS
+    /// thread ran, so it is excluded from `deterministic()`.
+    pub park_events: u64,
+    /// Parked waits ended by a publisher's targeted wake rather than a
+    /// timeout expiry. `park_events - wakeups` parks timed out and
+    /// re-checked the flag on their own. Schedule noise, masked from
+    /// `deterministic()` alongside `park_events`.
+    pub wakeups: u64,
 }
 
 /// The *accounting sink* (see `DESIGN.md`, "warp-transaction accounting
@@ -163,6 +174,8 @@ impl BlockStats {
         self.d2d_transfers += other.d2d_transfers;
         self.d2d_bytes += other.d2d_bytes;
         self.d2d_backoff_events += other.d2d_backoff_events;
+        self.park_events += other.park_events;
+        self.wakeups += other.wakeups;
     }
 
     /// The deterministic part of the counters: everything except spin-loop
@@ -173,6 +186,32 @@ impl BlockStats {
         c.flag_poll_iterations = 0;
         c.flag_backoff_events = 0;
         c.d2d_backoff_events = 0;
+        c.park_events = 0;
+        c.wakeups = 0;
+        c
+    }
+
+    /// The deterministic subset for *look-back* kernels: additionally
+    /// masks the read side of the decoupled look-back walk. How far a
+    /// walk steps before finding an inclusive prefix depends on what the
+    /// predecessor had published at that instant, so read counts, read
+    /// bytes, wait calls, and (for cross-band walks) D2D traffic all
+    /// legitimately vary with the schedule — BENCH_6 measured
+    /// `d2d_transfers` drifting 7161→7162 between 2 and 4 devices from
+    /// exactly this. The write side (every block publishes each state
+    /// exactly once) and the in-tile work (shared memory, barriers,
+    /// shuffles, one claim atomic per tile) stay schedule-free and are
+    /// kept. Non-look-back kernels never take unsatisfied walks, so for
+    /// them [`deterministic`](Self::deterministic) is the right, stricter
+    /// comparison.
+    pub fn deterministic_lookback(&self) -> BlockStats {
+        let mut c = self.deterministic();
+        c.global_reads = 0;
+        c.bytes_read = 0;
+        c.strided_reads = 0;
+        c.flag_waits = 0;
+        c.d2d_transfers = 0;
+        c.d2d_bytes = 0;
         c
     }
 }
@@ -198,6 +237,8 @@ pub struct KernelAccumulator {
     d2d_transfers: AtomicU64,
     d2d_bytes: AtomicU64,
     d2d_backoff_events: AtomicU64,
+    park_events: AtomicU64,
+    wakeups: AtomicU64,
 }
 
 impl KernelAccumulator {
@@ -227,6 +268,8 @@ impl KernelAccumulator {
         self.d2d_bytes.fetch_add(s.d2d_bytes, Ordering::Relaxed);
         self.d2d_backoff_events
             .fetch_add(s.d2d_backoff_events, Ordering::Relaxed);
+        self.park_events.fetch_add(s.park_events, Ordering::Relaxed);
+        self.wakeups.fetch_add(s.wakeups, Ordering::Relaxed);
     }
 
     /// Snapshot the totals.
@@ -250,6 +293,8 @@ impl KernelAccumulator {
             d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
             d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
             d2d_backoff_events: self.d2d_backoff_events.load(Ordering::Relaxed),
+            park_events: self.park_events.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
         }
     }
 }
@@ -408,10 +453,14 @@ mod tests {
         a.flag_poll_iterations = 999;
         a.flag_backoff_events = 2;
         a.d2d_backoff_events = 5;
+        a.park_events = 7;
+        a.wakeups = 4;
         let mut b = stats(1, 1);
         b.flag_poll_iterations = 3;
         b.flag_backoff_events = 0;
         b.d2d_backoff_events = 0;
+        b.park_events = 0;
+        b.wakeups = 0;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());
     }

@@ -22,11 +22,126 @@
 //! so the wait terminates under any dispatch order and any residency
 //! bound — including fully sequential execution, where a wait that would
 //! block even once is reported as a deadlock instead of spinning forever.
+//!
+//! ## Parked waits
+//!
+//! Polling models what the GPU does; it is a disaster for the *host*,
+//! where a spinning wait occupies the OS core its own producer needs
+//! (the busy-wait-vs-blocking trade-off Zhang et al. measure on real
+//! multi-GPU systems). A wait that exhausts its bounded hot-spin
+//! therefore **parks**: the waiter registers `(slot, min)` in one of the
+//! board's striped condvar registries and sleeps; every publication that
+//! advances a flag past a registered threshold removes exactly the
+//! eligible entries and wakes their stripe. Parked threads burn no CPU,
+//! and a pool worker hands its execution token back for the duration
+//! ([`crate::executor::PoolShared::park_begin`]) so the residency slot
+//! runs other ready blocks.
+//!
+//! None of this changes the memory-model exercise: publication is still
+//! a single `Release` store, and a waiter only ever returns after an
+//! `Acquire` load of the flag observes the target value — the condvar
+//! machinery orders *scheduling*, never data. Lost wakeups are excluded
+//! by a Dekker-style handshake (both sides issue a `SeqCst` fence
+//! between their store and their cross-check) plus a bounded park
+//! timeout that re-checks the flag regardless. `GPU_SIM_NO_PARK=1` (or
+//! [`set_force_no_park`]) falls back to the yield/sleep ladder; both
+//! paths charge identical deterministic counters — `park_events` and
+//! `wakeups` are masked like every other scheduling artifact.
 
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, Once};
+use std::time::Duration;
 
 use crate::launch::BlockCtx;
 use crate::trace::EventKind;
+
+static NO_PARK_ENV: AtomicBool = AtomicBool::new(false);
+static NO_PARK_INIT: Once = Once::new();
+static FORCE_NO_PARK: AtomicBool = AtomicBool::new(false);
+
+/// Whether exhausted flag waits park on condvars (the default) instead of
+/// falling back to the yield/sleep ladder. `false` when the
+/// `GPU_SIM_NO_PARK` environment variable is set (to anything but `0`) or
+/// while [`set_force_no_park`] is on — mirroring the
+/// `GPU_SIM_NO_VECTOR` / [`force_scalar`](crate::global::force_scalar)
+/// pair for the vectorized host paths.
+#[inline]
+pub fn parking_enabled() -> bool {
+    NO_PARK_INIT.call_once(|| {
+        let off = std::env::var_os("GPU_SIM_NO_PARK").is_some_and(|v| v != "0");
+        NO_PARK_ENV.store(off, Ordering::SeqCst);
+    });
+    !NO_PARK_ENV.load(Ordering::Relaxed) && !FORCE_NO_PARK.load(Ordering::Relaxed)
+}
+
+/// Process-global test switch disabling parked waits (the spinning ladder
+/// runs instead). Like `force_scalar`, only flip this while no launch is
+/// in flight: it must not change mid-wait while threads are registered.
+pub fn set_force_no_park(on: bool) {
+    FORCE_NO_PARK.store(on, Ordering::SeqCst);
+}
+
+/// Upper bound of one timed park. Expiry re-checks the flag, the abort
+/// flag, and the deadlock budget, so no wait ever depends on a wake
+/// arriving — publications only make it prompt.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Iterations one expired park charges against the deadlock limit: the
+/// timeout over the legacy ladder's 20 µs sleep, so a stuck parked wait
+/// reaches `DeviceConfig::deadlock_limit` after the same wall-clock time
+/// as a stuck sleeping one — the fast-fail budget is schedule-equivalent
+/// across both paths. The bound stays flat across cycles: stretching it
+/// for long waits (flat 2 ms for remote waits, or exponential backoff to
+/// 3.2 ms) was measured and lost — it delays nothing on the wake side,
+/// but the rarer expiry polls also re-check the abort flag and feed the
+/// re-park loop that keeps a handed-off token available promptly, and
+/// the measured cooperative sweeps came out flat-to-worse both times.
+const PARK_ITERS: u64 = 10;
+
+/// Waiter registries are striped `flag_index % stripes` so concurrent
+/// parks on different flags rarely contend on one lock.
+const MAX_STRIPES: usize = 64;
+
+/// One registered parked waiter: wake when `flags[slot] >= min`.
+/// The ticket identifies the registration so a timed-out waiter can tell
+/// "a publisher removed (and therefore woke) me" from "I expired".
+struct Waiter {
+    slot: usize,
+    min: u8,
+    ticket: u64,
+}
+
+/// One waiter-registry stripe of a [`StatusBoard`].
+struct Stripe {
+    /// Registered-waiter count, readable without the lock: publishers
+    /// skip the stripe entirely while it is zero.
+    parked: AtomicU32,
+    waiters: Mutex<Vec<Waiter>>,
+    wake: Condvar,
+}
+
+/// Worker-token handoff for the parked phase of a wait: engaging returns
+/// the block's execution token to its pool so a standby thread can run
+/// other ready blocks; dropping (on satisfied wait, deadlock panic, or
+/// abort unwind alike) re-acquires in never-blocking debt mode. Blocks
+/// without a pool — sequential remote waits, the one-block inline fast
+/// path, group driver threads — park without a token to hand off.
+struct TokenGuard(std::sync::Arc<crate::executor::PoolShared>);
+
+impl TokenGuard {
+    fn engage(ctx: &BlockCtx) -> Option<TokenGuard> {
+        ctx.pool_handle().map(|p| {
+            p.park_begin();
+            TokenGuard(p)
+        })
+    }
+}
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        self.0.park_end();
+    }
+}
 
 /// A global-memory counter for `atomicAdd`-based virtual block IDs
 /// (paper Sections III-C and IV).
@@ -65,9 +180,19 @@ impl DeviceCounter {
 ///
 /// Flags must only ever increase; publication with a smaller value than
 /// already present is a logic error (debug-asserted).
-#[derive(Debug)]
 pub struct StatusBoard {
     flags: Box<[AtomicU8]>,
+    /// Parked-waiter registries, one per stripe (`flag % stripes.len()`;
+    /// always a power of two).
+    stripes: Box<[Stripe]>,
+    /// Monotone registration tickets (see [`Waiter`]).
+    ticket: AtomicU64,
+}
+
+impl std::fmt::Debug for StatusBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusBoard").field("len", &self.flags.len()).finish_non_exhaustive()
+    }
 }
 
 impl StatusBoard {
@@ -75,7 +200,23 @@ impl StatusBoard {
     pub fn new(len: usize) -> Self {
         let mut v = Vec::with_capacity(len);
         v.resize_with(len, AtomicU8::default);
-        StatusBoard { flags: v.into_boxed_slice() }
+        let n_stripes = len.max(1).next_power_of_two().min(MAX_STRIPES);
+        let mut s = Vec::with_capacity(n_stripes);
+        s.resize_with(n_stripes, || Stripe {
+            parked: AtomicU32::new(0),
+            waiters: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+        });
+        StatusBoard {
+            flags: v.into_boxed_slice(),
+            stripes: s.into_boxed_slice(),
+            ticket: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, i: usize) -> &Stripe {
+        &self.stripes[i & (self.stripes.len() - 1)]
     }
 
     /// Number of flags.
@@ -91,6 +232,12 @@ impl StatusBoard {
     /// Publish status `v` for slot `i` with `Release` ordering: all global
     /// writes performed by this block before the call become visible to
     /// any block that observes the flag.
+    ///
+    /// After the store, wakes any parked waiter the publication satisfies
+    /// (see the [module docs](self)). The no-waiter fast path is one
+    /// fence plus one relaxed load; the fence pairs with the one in
+    /// [`StatusBoard::park`] so a registering waiter and a publishing
+    /// producer can never miss each other.
     pub fn publish(&self, ctx: &mut BlockCtx, i: usize, v: u8) {
         ctx.stats.flag_publishes += 1;
         ctx.trace(EventKind::FlagPublished { slot: i, value: v });
@@ -100,6 +247,68 @@ impl StatusBoard {
             self.flags[i].load(Ordering::Relaxed),
         );
         self.flags[i].store(v, Ordering::Release);
+        if parking_enabled() {
+            fence(Ordering::SeqCst);
+            if self.stripe(i).parked.load(Ordering::Relaxed) > 0 {
+                self.wake_eligible(i, v);
+            }
+        }
+    }
+
+    /// Remove every registered waiter this publication satisfies and wake
+    /// the stripe. Ineligible co-striped waiters that the `notify_all`
+    /// rouses find their registration still present, re-check their flag,
+    /// and park again — bounded spurious work, never a lost wake.
+    #[cold]
+    fn wake_eligible(&self, i: usize, v: u8) {
+        let stripe = self.stripe(i);
+        let mut g = stripe.waiters.lock().unwrap();
+        let before = g.len();
+        g.retain(|w| w.slot != i || w.min > v);
+        if g.len() != before {
+            stripe.parked.store(g.len() as u32, Ordering::Relaxed);
+            stripe.wake.notify_all();
+        }
+    }
+
+    /// One timed park of the calling waiter on `flags[i] >= min`.
+    ///
+    /// Registration and the final pre-sleep flag check happen under the
+    /// stripe lock with a `SeqCst` fence in between; `publish` stores the
+    /// flag, fences, and only then reads the stripe's waiter count. In
+    /// every interleaving the publisher either observes the registration
+    /// (and wakes us) or we observe its flag store (and never sleep).
+    fn park(&self, ctx: &mut BlockCtx, i: usize, min: u8) {
+        let stripe = self.stripe(i);
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        let mut g = stripe.waiters.lock().unwrap();
+        g.push(Waiter { slot: i, min, ticket });
+        stripe.parked.store(g.len() as u32, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if self.flags[i].load(Ordering::Acquire) >= min {
+            Self::deregister(stripe, &mut g, ticket);
+            return;
+        }
+        ctx.stats.park_events += 1;
+        let (mut g, _) = stripe.wake.wait_timeout(g, PARK_TIMEOUT).unwrap();
+        if !Self::deregister(stripe, &mut g, ticket) {
+            // Our entry is gone: an eligible publication removed it and
+            // woke us on purpose (not a timeout, not a spurious wake).
+            ctx.stats.wakeups += 1;
+        }
+    }
+
+    /// Remove the caller's registration if still present; `false` means a
+    /// publisher already removed it.
+    fn deregister(stripe: &Stripe, g: &mut Vec<Waiter>, ticket: u64) -> bool {
+        match g.iter().position(|w| w.ticket == ticket) {
+            Some(p) => {
+                g.swap_remove(p);
+                stripe.parked.store(g.len() as u32, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 
     /// One `Acquire` poll of slot `i` without waiting (the look-back reads
@@ -117,22 +326,32 @@ impl StatusBoard {
     /// turns ordering bugs in soft-synchronized algorithms into crisp test
     /// failures instead of hangs.
     ///
-    /// Concurrent waits back off adaptively in four phases, so flag
-    /// waiters never monopolize host cores other launches (or other
-    /// devices of a [`crate::group::DeviceGroup`]) need:
+    /// Concurrent waits back off adaptively, so flag waiters never
+    /// monopolize host cores other launches (or other devices of a
+    /// [`crate::group::DeviceGroup`]) need:
     ///
     /// 1. a bounded hot spin (`SPIN_POLLS` polls of `spin_loop`) for the
     ///    common case where the producer publishes within microseconds;
     /// 2. exponential backoff: the pause between polls doubles from 1 to
     ///    `MAX_PAUSE` `spin_loop` hints, trading poll latency for bus and
     ///    core pressure;
-    /// 3. `thread::yield_now()` — hand the timeslice to the producer this
-    ///    wait depends on (essential on few-core hosts);
-    /// 4. a 20 µs sleep — a stuck wait stops burning the core entirely.
+    /// 3. a **parked wait**: the thread registers in the board's waiter
+    ///    registry, returns its pool execution token
+    ///    ([`crate::executor::PoolShared::park_begin`]) so a standby
+    ///    thread can run other ready blocks, and sleeps on a condvar
+    ///    until an eligible publication (or a `PARK_TIMEOUT` expiry that
+    ///    re-checks everything) wakes it. Zero CPU while blocked, prompt
+    ///    wake on publish.
     ///
-    /// Every phase *transition* (1→2, 2→3, 3→4) increments the
-    /// `flag_backoff_events` counter. Like `flag_poll_iterations` it is
-    /// schedule-dependent and excluded from
+    /// Under `GPU_SIM_NO_PARK=1` (or [`set_force_no_park`]) phase 3 is
+    /// the legacy ladder instead: `thread::yield_now()` to `SLEEP_POLLS`
+    /// polls, then 20 µs sleeps.
+    ///
+    /// Every phase *transition* increments the `flag_backoff_events`
+    /// counter, each timed park increments `park_events`, and each
+    /// publisher-initiated wake increments `wakeups`. Like
+    /// `flag_poll_iterations` all three are schedule-dependent and
+    /// excluded from
     /// [`BlockStats::deterministic`](crate::metrics::BlockStats::deterministic).
     pub fn wait_at_least(&self, ctx: &mut BlockCtx, i: usize, min: u8) -> u8 {
         self.wait_inner(ctx, i, min, false)
@@ -175,14 +394,26 @@ impl StatusBoard {
         // stuck-wait bound scales up instead of misfiring on healthy
         // cross-device latency.
         let limit = ctx.config().deadlock_limit * if remote { 64 } else { 1 };
+        let parking = parking_enabled();
         let mut iters: u64 = 0;
         let mut pause: u32 = 1;
+        // Set once the wait enters the parked phase; the guard returns the
+        // worker's execution token to the pool and re-acquires it on drop
+        // (normal return or unwind), so token accounting stays balanced
+        // even when the wait panics out of the loop below.
+        let mut parked = false;
+        let mut token: Option<TokenGuard> = None;
         loop {
             iters += 1;
+            // The one load every return path goes through: `Acquire`, so
+            // observing the flag also makes the producer's prior writes
+            // visible — parked or spinning, the happens-before edge is
+            // this load, never the condvar.
             let v = self.flags[i].load(Ordering::Acquire);
             if v >= min {
                 ctx.stats.flag_poll_iterations += iters;
                 ctx.trace(EventKind::FlagWaited { slot: i, seen: v });
+                drop(token);
                 return v;
             }
             if !remote && ctx.is_sequential() {
@@ -205,7 +436,10 @@ impl StatusBoard {
                     ctx.block_idx()
                 );
             }
-            if iters.is_multiple_of(256) && ctx.abort_requested() {
+            // Parked cycles are ~200 µs apiece, so checking the abort flag
+            // every cycle matches the responsiveness the modulo gives the
+            // microsecond-scale spin phases.
+            if (parked || iters.is_multiple_of(256)) && ctx.abort_requested() {
                 panic!(
                     "soft-sync wait aborted: block {} was waiting on flag[{i}] >= {min} \
                      when another block of the launch panicked",
@@ -223,15 +457,33 @@ impl StatusBoard {
                 }
                 pause <<= 1;
                 if pause > MAX_PAUSE {
-                    escalate(ctx, remote); // backoff -> yield
+                    escalate(ctx, remote); // backoff -> park (or yield)
                 }
+            } else if parking {
+                if !parked {
+                    parked = true;
+                } else if token.is_none() {
+                    // The first park cycle expired without a wake: the wait
+                    // has proven itself long (a remote producer, or a sole
+                    // worker blocking the grid), so return the execution
+                    // token before parking again. Short waits — the common
+                    // intra-device case — park once without touching pool
+                    // residency: admitting extra blocks mid-wait lengthens
+                    // look-back walks for no host-time gain.
+                    token = TokenGuard::engage(ctx);
+                }
+                self.park(ctx, i, min);
+                // Charge the park against the deadlock budget at the
+                // legacy ladder's wall-clock rate (one iteration per
+                // 20 µs), so fast-fail takes the same time either way.
+                iters += PARK_ITERS - 1;
             } else if iters < SLEEP_POLLS {
                 std::thread::yield_now();
             } else {
                 if iters == SLEEP_POLLS {
                     escalate(ctx, remote); // yield -> sleep
                 }
-                std::thread::sleep(std::time::Duration::from_micros(20));
+                std::thread::sleep(Duration::from_micros(20));
             }
         }
     }
@@ -381,11 +633,11 @@ mod tests {
             s.spawn(|| {
                 std::thread::sleep(std::time::Duration::from_millis(5));
                 let mut arena = ScratchArena::new();
-                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort);
+                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort, None);
                 board.publish(&mut ctx, 0, 1);
             });
             let mut arena = ScratchArena::new();
-            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort);
+            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort, None);
             assert_eq!(board.wait_at_least(&mut ctx, 0, 1), 1);
             ctx.stats.clone()
         });
@@ -403,7 +655,7 @@ mod tests {
 
         // An already-satisfied wait never leaves the hot path.
         let mut arena = ScratchArena::new();
-        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort);
+        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort, None);
         assert_eq!(board.wait_at_least(&mut ctx, 0, 1), 1);
         assert_eq!(ctx.stats.flag_backoff_events, 0);
     }
@@ -423,11 +675,11 @@ mod tests {
             s.spawn(|| {
                 std::thread::sleep(std::time::Duration::from_millis(5));
                 let mut arena = ScratchArena::new();
-                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort);
+                let mut ctx = crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort, None);
                 board.publish(&mut ctx, 0, 1);
             });
             let mut arena = ScratchArena::new();
-            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort);
+            let mut ctx = crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort, None);
             assert_eq!(board.wait_at_least_remote(&mut ctx, 0, 1), 1);
             ctx.stats.clone()
         });
@@ -442,9 +694,97 @@ mod tests {
 
         // A satisfied remote wait is pure hot path on either counter.
         let mut arena = ScratchArena::new();
-        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort);
+        let mut ctx = crate::launch::BlockCtx::for_worker(2, 32, &cfg, None, &mut arena, &abort, None);
         assert_eq!(board.wait_at_least_remote(&mut ctx, 0, 1), 1);
         assert_eq!(ctx.stats.flag_backoff_events + ctx.stats.d2d_backoff_events, 0);
+    }
+
+    #[test]
+    fn long_waits_park_and_leave_no_waiter_behind() {
+        // A multi-ms wait exhausts the spin/backoff phases and parks: the
+        // park counter records it, the waiter registry is empty again
+        // afterwards (no leaked registration to mis-wake a later wait on
+        // the same stripe), and both park counters are masked from
+        // deterministic() like the backoff events they replace.
+        if !parking_enabled() {
+            return; // GPU_SIM_NO_PARK=1 run: the ladder is under test elsewhere
+        }
+        use crate::launch::ScratchArena;
+        use std::sync::atomic::AtomicBool;
+        let cfg = DeviceConfig::tiny();
+        let board = StatusBoard::new(3);
+        let abort = AtomicBool::new(false);
+        let stats = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let mut arena = ScratchArena::new();
+                let mut ctx =
+                    crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort, None);
+                board.publish(&mut ctx, 2, 1);
+            });
+            let mut arena = ScratchArena::new();
+            let mut ctx =
+                crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort, None);
+            assert_eq!(board.wait_at_least(&mut ctx, 2, 1), 1);
+            ctx.stats.clone()
+        });
+        assert!(
+            stats.park_events >= 1,
+            "a multi-ms wait must reach the park phase, got {} park events",
+            stats.park_events
+        );
+        assert!(
+            stats.wakeups <= stats.park_events,
+            "every publisher wake corresponds to one park: {} wakeups vs {} parks",
+            stats.wakeups,
+            stats.park_events
+        );
+        let det = stats.deterministic();
+        assert_eq!(det.park_events, 0, "park events are schedule noise");
+        assert_eq!(det.wakeups, 0, "wakeups are schedule noise");
+        for stripe in board.stripes.iter() {
+            assert_eq!(stripe.parked.load(Ordering::SeqCst), 0);
+            assert!(stripe.waiters.lock().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn publication_wakes_only_eligible_waiters() {
+        // Two waiters on different flags that share a board: publishing
+        // one flag must release exactly that waiter (the other keeps
+        // parking until its own flag advances). This is the "wakes
+        // exactly the eligible waiters" half of the park/wake contract;
+        // the threshold half (min > v stays registered) rides along by
+        // waiting for 2 while first publishing 1.
+        if !parking_enabled() {
+            return;
+        }
+        use crate::launch::ScratchArena;
+        use std::sync::atomic::AtomicBool;
+        let cfg = DeviceConfig::tiny();
+        // One flag -> one stripe: both waiters share a registry stripe,
+        // exercising the retain-based selective wake.
+        let board = StatusBoard::new(1);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut arena = ScratchArena::new();
+                let mut ctx =
+                    crate::launch::BlockCtx::for_worker(1, 32, &cfg, None, &mut arena, &abort, None);
+                assert_eq!(board.wait_at_least(&mut ctx, 0, 2), 2);
+            });
+            let mut arena = ScratchArena::new();
+            let mut ctx =
+                crate::launch::BlockCtx::for_worker(0, 32, &cfg, None, &mut arena, &abort, None);
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            board.publish(&mut ctx, 0, 1); // below the waiter's threshold
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            board.publish(&mut ctx, 0, 2); // releases it
+        });
+        for stripe in board.stripes.iter() {
+            assert_eq!(stripe.parked.load(Ordering::SeqCst), 0);
+            assert!(stripe.waiters.lock().unwrap().is_empty());
+        }
     }
 
     #[test]

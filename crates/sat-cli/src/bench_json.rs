@@ -444,12 +444,23 @@ struct HugePoint {
     alg: &'static str,
     n: usize,
     devices: usize,
+    /// Minimum over `--repeat` rounds; rounds after the first are
+    /// timing-only and interleaved across the whole point matrix, so a
+    /// minutes-long noise burst on a shared recording host cannot sit on
+    /// all of one point's reps (see `run_huge`).
     wall_secs: f64,
     /// Busiest lane's modeled clock for the banded single image.
     modeled_secs: f64,
     /// Single-device modeled time over this point's — the cooperative
     /// speedup the group models for one image.
     scaling: f64,
+    /// Modeled over wall seconds: how much of the simulated device time
+    /// the host delivers per wall second. Dropping efficiency as devices
+    /// are added means the host is burning wall-clock on coordination
+    /// (the spinning-wait pathology BENCH_6 recorded) rather than on
+    /// simulated work; `bench-compare --wall-floor` gates on the wall
+    /// times directly.
+    host_efficiency: f64,
     steal_events: usize,
     d2d_transfers: u64,
     d2d_bytes: u64,
@@ -471,32 +482,57 @@ fn coop_scaling_floor(devices: usize) -> f64 {
 /// SKSS-LB kernel. Output is validated against the reference SAT at every
 /// point. Counters are compared against the same kernel's 1-device run:
 /// the 2R1W pipeline must match on the full deterministic set (its carry
-/// exchange reads bands in fixed order), the look-back kernel on the
-/// schedule-independent write side.
+/// exchange reads bands in fixed order), the look-back kernel on
+/// [`deterministic_lookback`](gpu_sim::metrics::BlockStats::deterministic_lookback)
+/// — walk-length-dependent read counters (`d2d_transfers` drifted
+/// 7161→7162 across device counts in BENCH_6) are masked by design, not
+/// silently tolerated, and stay visible in each point's recorded
+/// `d2d_transfers`/`d2d_bytes` fields.
 fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
     let params = SatParams::paper(cfg.w);
     let mut counts = if cfg.devices.is_empty() { vec![1, 2, 4] } else { cfg.devices.clone() };
     if !counts.contains(&1) {
         counts.insert(0, 1);
     }
+    // Per-size shared buffers, alive across every round below (a few GB
+    // per 32K² case — the recording host is expected to have the RAM).
+    struct HugeCase {
+        n: usize,
+        input: gpu_sim::global::GlobalBuffer<u32>,
+        output: gpu_sim::global::GlobalBuffer<u32>,
+        expect: Matrix<u32>,
+    }
+    let cases: Vec<HugeCase> = cfg
+        .huge
+        .iter()
+        .map(|&n| {
+            let mat = Matrix::<u32>::random(n, n, 0xB16, 4);
+            HugeCase {
+                n,
+                expect: satcore::reference::sat(&mat),
+                input: mat.to_device(),
+                output: gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n),
+            }
+        })
+        .collect();
+    // Round 0: the verification pass — correctness, counters, modeled
+    // time, and a first wall sample per point.
     let mut points = Vec::new();
-    for &n in &cfg.huge {
-        let mat = Matrix::<u32>::random(n, n, 0xB16, 4);
-        let expect = satcore::reference::sat(&mat);
-        let input = mat.to_device();
-        let output = gpu_sim::global::GlobalBuffer::<u32>::zeroed(n * n);
+    let mut reruns: Vec<(usize, CoopKernel)> = Vec::new();
+    for (ci, case) in cases.iter().enumerate() {
+        let n = case.n;
         for (kernel, alg) in
             [(CoopKernel::TwoROneW, "coop_2r1w"), (CoopKernel::SkssLb, "coop_skss_lb")]
         {
             let mut base: Option<(f64, gpu_sim::metrics::BlockStats)> = None;
             for &devices in &counts {
-                output.host_fill(0);
+                case.output.host_fill(0);
                 let group = gpu_sim::group::DeviceGroup::new(device.clone(), devices.max(1));
                 let t0 = Instant::now();
                 let (report, gm) =
-                    sat_huge_multi_device(&group, params, kernel, &input, &output, n);
+                    sat_huge_multi_device(&group, params, kernel, &case.input, &case.output, n);
                 let wall_secs = t0.elapsed().as_secs_f64();
-                let output_match = Matrix::from_device(&output, n, n) == expect;
+                let output_match = Matrix::from_device(&case.output, n, n) == case.expect;
                 if !output_match {
                     eprintln!("huge {alg} n={n}: WRONG SAT at {devices} devices");
                 }
@@ -508,43 +544,73 @@ fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
                     det == *base_det
                 } else {
                     // Look-back walk lengths depend on what the other
-                    // device has published; the write side does not.
-                    det.global_writes == base_det.global_writes
-                        && det.bytes_written == base_det.bytes_written
-                        && det.bank_conflict_cycles == base_det.bank_conflict_cycles
-                        && det.flag_publishes == base_det.flag_publishes
+                    // device had published when the walk looked;
+                    // everything outside that read side must still be
+                    // bit-identical.
+                    det.deterministic_lookback() == base_det.deterministic_lookback()
                 };
                 if !counters_match {
                     eprintln!(
                         "huge {alg} n={n}: counter drift at {devices} devices vs 1 device"
                     );
                 }
-                let point = HugePoint {
+                points.push(HugePoint {
                     alg,
                     n,
                     devices: group.len(),
                     wall_secs,
                     modeled_secs,
                     scaling: *base_secs / modeled_secs,
+                    host_efficiency: modeled_secs / wall_secs,
                     steal_events: gm.steal_events(),
                     d2d_transfers: gm.d2d_transfers(),
                     d2d_bytes: gm.d2d_bytes(),
                     output_match,
                     counters_match,
-                };
-                eprintln!(
-                    "huge  {alg:<13} n={n:<6} {devices} device(s): modeled {:>9.3} ms \
-                     ({:.2}x 1-device), {} D2D transfers / {} bytes, {} steals, wall {:.3}s",
-                    point.modeled_secs * 1e3,
-                    point.scaling,
-                    point.d2d_transfers,
-                    point.d2d_bytes,
-                    point.steal_events,
-                    point.wall_secs,
-                );
-                points.push(point);
+                });
+                reruns.push((ci, kernel));
             }
         }
+    }
+    // Rounds 1..reps: timing-only re-runs, *interleaved* across the whole
+    // point matrix, each point keeping its minimum wall. Consecutive
+    // same-point reps would all sit inside one host noise burst (bursts
+    // on a shared box run minutes — longer than a point); a burst has to
+    // recur at the same matrix position in every round to survive the
+    // min. Correctness and counters were already pinned by round 0, so
+    // these rounds skip the (expensive) output and counter comparisons.
+    for round in 1..cfg.reps.max(1) {
+        for (point, &(ci, kernel)) in points.iter_mut().zip(&reruns) {
+            let case = &cases[ci];
+            case.output.host_fill(0);
+            let group = gpu_sim::group::DeviceGroup::new(device.clone(), point.devices.max(1));
+            let t0 = Instant::now();
+            let _ =
+                sat_huge_multi_device(&group, params, kernel, &case.input, &case.output, case.n);
+            let wall_secs = t0.elapsed().as_secs_f64();
+            if wall_secs < point.wall_secs {
+                point.wall_secs = wall_secs;
+                point.host_efficiency = point.modeled_secs / wall_secs;
+            }
+        }
+        eprintln!("huge  timing round {round}/{} done", cfg.reps.max(1) - 1);
+    }
+    for point in &points {
+        eprintln!(
+            "huge  {:<13} n={:<6} {} device(s): modeled {:>9.3} ms \
+             ({:.2}x 1-device), {} D2D transfers / {} bytes, {} steals, wall {:.3}s \
+             (eff {:.2e})",
+            point.alg,
+            point.n,
+            point.devices,
+            point.modeled_secs * 1e3,
+            point.scaling,
+            point.d2d_transfers,
+            point.d2d_bytes,
+            point.steal_events,
+            point.wall_secs,
+            point.host_efficiency,
+        );
     }
     points
 }
@@ -795,8 +861,8 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
             doc.push_str(&format!(
                 "\n{{\"alg\":\"{}\",\"n\":{},\"devices\":{},\"modeled_secs\":{:.9},\
                  \"scaling\":{:.3},\"steal_events\":{},\"d2d_transfers\":{},\
-                 \"d2d_bytes\":{},\"wall_secs\":{:.6},\"output_match\":{},\
-                 \"counters_match\":{}}}",
+                 \"d2d_bytes\":{},\"wall_secs\":{:.6},\"host_efficiency\":{:.9},\
+                 \"output_match\":{},\"counters_match\":{}}}",
                 p.alg,
                 p.n,
                 p.devices,
@@ -806,6 +872,7 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
                 p.d2d_transfers,
                 p.d2d_bytes,
                 p.wall_secs,
+                p.host_efficiency,
                 p.output_match,
                 p.counters_match,
             ));
@@ -867,6 +934,15 @@ fn parse_results(doc: &str) -> Vec<DocEntry> {
 /// of the old document missing from the new one also count as a
 /// regression — a shrunken sweep must not pass silently.
 ///
+/// With `--wall-floor R`, the host-side wall clock of the cooperative
+/// huge sweep gates too: for every `(alg, n)` recorded in both documents,
+/// the *highest*-device-count point of the new document must run in at
+/// most `1/R` of the old document's *best* (minimum over device counts)
+/// wall time. At `R = 1.0` this is exactly "adding devices must not cost
+/// host time": the regression BENCH_6 measured (4-device 32K² coop_2r1w
+/// wall 6.32s against 4.18s at 2 devices) fails it, a parked-wait host
+/// passes it.
+///
 /// Returns the human-readable report and whether anything regressed.
 pub fn compare(
     old_doc: &str,
@@ -874,6 +950,7 @@ pub fn compare(
     floor: f64,
     throughput_floor: Option<f64>,
     coop_floor: Option<f64>,
+    wall_floor: Option<f64>,
 ) -> (String, bool) {
     let old = parse_results(old_doc);
     let new = parse_results(new_doc);
@@ -958,12 +1035,74 @@ pub fn compare(
             ));
         }
     }
+    if let Some(wf) = wall_floor {
+        // Host wall-clock gate on the huge sweep: the new document's
+        // widest configuration must beat the old document's best wall
+        // time for the same (alg, n) — see the function docs.
+        let old_pts = coop_wall_points(old_doc);
+        let new_pts = coop_wall_points(new_doc);
+        let mut keys: Vec<(String, usize)> =
+            old_pts.iter().map(|p| (p.0.clone(), p.1)).collect();
+        keys.sort();
+        keys.dedup();
+        if keys.is_empty() {
+            regression = true;
+            out.push_str(&format!(
+                "wall: no cooperative point in old document (floor {wf:.2}x)\n"
+            ));
+        }
+        for (alg, n) in keys {
+            let old_best = old_pts
+                .iter()
+                .filter(|p| p.0 == alg && p.1 == n)
+                .map(|p| p.3)
+                .fold(f64::INFINITY, f64::min);
+            let Some(new_widest) = new_pts
+                .iter()
+                .filter(|p| p.0 == alg && p.1 == n)
+                .max_by_key(|p| p.2)
+            else {
+                regression = true;
+                out.push_str(&format!(
+                    "wall: {alg} n={n} MISSING from new document (floor {wf:.2}x)\n"
+                ));
+                continue;
+            };
+            let ratio = old_best / new_widest.3;
+            let slow = ratio < wf;
+            regression |= slow;
+            out.push_str(&format!(
+                "wall: {alg} n={n} {} devices {:.3}s vs old best {:.3}s  {ratio:.2}x \
+                 (floor {wf:.2}x){}\n",
+                new_widest.2,
+                new_widest.3,
+                old_best,
+                if slow { "  REGRESSION" } else { "" }
+            ));
+        }
+    }
     out.push_str(&format!(
         "{compared}/{} points compared (floor {floor:.2}x): {}\n",
         old.len(),
         if regression { "REGRESSION" } else { "ok" }
     ));
     (out, regression)
+}
+
+/// `(alg, n, devices, wall_secs)` of every cooperative huge-sweep point
+/// of a document.
+fn coop_wall_points(doc: &str) -> Vec<(String, usize, usize, f64)> {
+    doc.lines()
+        .filter(|l| json_field(l, "alg").is_some_and(|a| a.starts_with("coop_")))
+        .filter_map(|l| {
+            Some((
+                json_field(l, "alg")?.to_string(),
+                json_field(l, "n")?.parse().ok()?,
+                json_field(l, "devices")?.parse().ok()?,
+                json_field(l, "wall_secs")?.parse().ok()?,
+            ))
+        })
+        .collect()
 }
 
 /// `(n, scaling)` of every 2-device `coop_2r1w` point of a document's
@@ -1111,6 +1250,7 @@ mod tests {
             }
         }
         assert!(doc.contains("\"output_match\":true"));
+        assert!(doc.contains("\"host_efficiency\":"));
         assert!(doc.contains("\"all_counters_match\":true"));
         let scalings = coop_two_device_scalings(&doc);
         assert_eq!(scalings.len(), 1);
@@ -1135,7 +1275,7 @@ mod tests {
     fn compare_passes_identical_documents() {
         let doc = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
             + &doc_line("skss", 1024, "concurrent", 90.0, [11, 5, 44, 20, 0]);
-        let (report, regression) = compare(&doc, &doc, 0.9, None, None);
+        let (report, regression) = compare(&doc, &doc, 0.9, None, None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("2/2 points compared"));
     }
@@ -1144,11 +1284,11 @@ mod tests {
     fn compare_flags_throughput_below_floor() {
         let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
         let new = doc_line("skss", 1024, "sequential", 80.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &new, 0.9, None, None);
+        let (report, regression) = compare(&old, &new, 0.9, None, None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // The same slowdown passes a lower floor.
-        assert!(!compare(&old, &new, 0.75, None, None).1);
+        assert!(!compare(&old, &new, 0.75, None, None, None).1);
     }
 
     #[test]
@@ -1164,20 +1304,20 @@ mod tests {
         let old = tp_line(1.70) + &results;
         // A healthy speedup passes the floor; context shows old -> new.
         let good = tp_line(1.45) + &results;
-        let (report, regression) = compare(&old, &good, 0.9, Some(1.3), None);
+        let (report, regression) = compare(&old, &good, 0.9, Some(1.3), None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("1.70x -> 1.45x"), "{report}");
         // Below the floor fails, even if every sweep point is fine.
         let slow = tp_line(0.92) + &results;
-        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3), None);
+        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3), None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A document missing the measurement entirely also fails...
-        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3), None);
+        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3), None, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
         // ...but only when the gate was requested.
-        assert!(!compare(&old, &results, 0.9, None, None).1);
+        assert!(!compare(&old, &results, 0.9, None, None, None).1);
     }
 
     #[test]
@@ -1192,20 +1332,59 @@ mod tests {
             )
         };
         let good = huge_line(1.87) + &results;
-        let (report, regression) = compare(&results, &good, 0.9, None, Some(1.5));
+        let (report, regression) = compare(&results, &good, 0.9, None, Some(1.5), None);
         assert!(!regression, "{report}");
         assert!(report.contains("1.87x (floor 1.50x)"), "{report}");
         // Below the floor fails.
         let slow = huge_line(1.21) + &results;
-        let (report, regression) = compare(&results, &slow, 0.9, None, Some(1.5));
+        let (report, regression) = compare(&results, &slow, 0.9, None, Some(1.5), None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A document with no cooperative point fails the gate...
-        let (report, regression) = compare(&results, &results.clone(), 0.9, None, Some(1.5));
+        let (report, regression) = compare(&results, &results.clone(), 0.9, None, Some(1.5), None);
         assert!(regression);
         assert!(report.contains("no 2-device cooperative point"), "{report}");
         // ...but only when the gate was requested.
-        assert!(!compare(&results, &results, 0.9, None, None).1);
+        assert!(!compare(&results, &results, 0.9, None, None, None).1);
+    }
+
+    #[test]
+    fn compare_gates_cooperative_wall_clock() {
+        let results = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let huge_line = |devices: usize, wall: f64| {
+            format!(
+                "{{\"alg\":\"coop_2r1w\",\"n\":16384,\"devices\":{devices},\
+                 \"modeled_secs\":0.010000000,\"scaling\":2.000,\"steal_events\":0,\
+                 \"d2d_transfers\":36,\"d2d_bytes\":4718592,\"wall_secs\":{wall:.6},\
+                 \"host_efficiency\":{:.9},\"output_match\":true,\
+                 \"counters_match\":true}}\n",
+                0.01 / wall
+            )
+        };
+        // Old document: 2 devices were the best host configuration (the
+        // BENCH_6 shape); 4 devices regressed the wall clock.
+        let old = huge_line(2, 1.0) + &huge_line(4, 2.0) + &results;
+        // New document whose widest (4-device) point beats the old best.
+        let good = huge_line(2, 0.9) + &huge_line(4, 0.8) + &results;
+        let (report, regression) = compare(&old, &good, 0.9, None, None, Some(1.0));
+        assert!(!regression, "{report}");
+        assert!(report.contains("4 devices 0.800s vs old best 1.000s"), "{report}");
+        // Widest point slower than the old best fails, even though it
+        // beats the old document's own 4-device wall.
+        let slow = huge_line(2, 0.9) + &huge_line(4, 1.5) + &results;
+        let (report, regression) = compare(&old, &slow, 0.9, None, None, Some(1.0));
+        assert!(regression);
+        assert!(report.contains("REGRESSION"), "{report}");
+        // A new document with no cooperative points fails the gate...
+        let (report, regression) = compare(&old, &results.clone(), 0.9, None, None, Some(1.0));
+        assert!(regression);
+        assert!(report.contains("MISSING"), "{report}");
+        // ...as does an old document with none (nothing to gate against).
+        let (report, regression) = compare(&results, &good, 0.9, None, None, Some(1.0));
+        assert!(regression);
+        assert!(report.contains("no cooperative point in old document"), "{report}");
+        // Without the flag none of this is checked.
+        assert!(!compare(&old, &slow, 0.9, None, None, None).1);
     }
 
     #[test]
@@ -1215,16 +1394,16 @@ mod tests {
         // Sequential read-count drift is a regression...
         let drift = doc_line("skss", 1024, "sequential", 100.0, [11, 5, 44, 20, 0])
             + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &drift, 0.9, None, None);
+        let (report, regression) = compare(&old, &drift, 0.9, None, None, None);
         assert!(regression);
         assert!(report.contains("COUNTER DRIFT"), "{report}");
         // ...but concurrent read-side drift is schedule noise, not one.
         let old_c = doc_line("skss", 1024, "concurrent", 100.0, [10, 5, 40, 20, 0]);
         let new_c = doc_line("skss", 1024, "concurrent", 100.0, [13, 5, 52, 20, 0]);
-        assert!(!compare(&old_c, &new_c, 0.9, None, None).1);
+        assert!(!compare(&old_c, &new_c, 0.9, None, None, None).1);
         // A point that vanished from the new document is a regression.
         let shrunk = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &shrunk, 0.9, None, None);
+        let (report, regression) = compare(&old, &shrunk, 0.9, None, None, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
     }

@@ -84,7 +84,9 @@ fn usage() -> &'static str {
                                          --devices 1,2,4 (multi-device scaling sweep)],\n\
                            --huge 16384,32768 (cooperative single-image sweep: each\n\
                                   size row-band-split across a DeviceGroup at every\n\
-                                  --devices count; gated by coop_regression),\n\
+                                  --devices count; gated by coop_regression; wall times\n\
+                                  are min over --repeat rounds, interleaved across the\n\
+                                  point matrix to reject host noise bursts),\n\
                            --perf-floor R (default 0.9, vs --baseline),\n\
                            --conc-floor R (default 0.95, concurrent vs sequential)\n\
        bench-compare  offline floor check of two committed BENCH_*.json files\n\
@@ -93,6 +95,9 @@ fn usage() -> &'static str {
                           batch speedup over serial is below S]\n\
                          [--coop-floor C: fail if any 2-device cooperative huge-image\n\
                           point of the new document models below Cx one device]\n\
+                         [--wall-floor R: fail if the new document's widest cooperative\n\
+                          point runs slower than R x the old document's best wall time\n\
+                          for the same (alg, n) — adding devices must not cost host time]\n\
        all        every report above, in order"
 }
 
@@ -220,8 +225,16 @@ fn main() -> ExitCode {
                 .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --throughput-floor: {v}")));
             let coop_floor = parse_opt(&args, "--coop-floor")
                 .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --coop-floor: {v}")));
-            let (report, regression) =
-                bench_json::compare(&read(old_path), &read(new_path), floor, tp_floor, coop_floor);
+            let wall_floor = parse_opt(&args, "--wall-floor")
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --wall-floor: {v}")));
+            let (report, regression) = bench_json::compare(
+                &read(old_path),
+                &read(new_path),
+                floor,
+                tp_floor,
+                coop_floor,
+                wall_floor,
+            );
             print!("{report}");
             if regression {
                 return ExitCode::FAILURE;

@@ -27,6 +27,15 @@ cargo test --release -q --test counter_parity
 # vector runs ever charge differently, one of these two runs fails.
 GPU_SIM_NO_VECTOR=1 cargo test --release -q --test counter_parity
 
+# The same parity suite again with parked flag waits disabled
+# (GPU_SIM_NO_PARK=1 restores the legacy spin/yield/sleep ladder, the
+# way GPU_SIM_NO_VECTOR forces the scalar loops). Parking must be a pure
+# host-scheduling change: deterministic counters and outputs are charged
+# identically whether a wait parked on a condvar stripe or spun, and
+# tests/parking.rs asserts the same equality in-process in both
+# directions.
+GPU_SIM_NO_PARK=1 cargo test --release -q --test counter_parity
+
 # Counter-drift smoke: a quick filtered bench-json run against the
 # committed baseline. Any accounting drift (or serial-vs-streamed
 # divergence in the batch pipeline) makes bench-json exit nonzero via
@@ -81,3 +90,16 @@ GPU_SIM_NO_VECTOR=1 cargo test --release -q --test counter_parity
 # tests/scheduling_parity.rs); re-recording the 16K/32K sweep takes
 # minutes and stays offline here for the same no-flake reason as above.
 ./target/release/sat-cli bench-compare BENCH_6.json BENCH_6.json --coop-floor 1.5
+
+# Host wall-clock floor across the parked-waits PR: BENCH_7 (parked flag
+# waits + worker-token handoff) against BENCH_6. --wall-floor gates the
+# tentpole claim directly: for every cooperative (alg, n) the *widest*
+# BENCH_7 point (4 devices) must run at least 0.9x as fast on the host
+# as the *best* BENCH_6 point at any device count — under spinning, the
+# 4-device points cost 1.2-3x the best (EXPERIMENTS.md BENCH_7 table);
+# parked waits bring every one of them to the old best give or take the
+# 1-core box's documented +-15% wall noise (hence 0.9, same margin as
+# the --floor 0.8 gates above). The modeled coop floor is re-checked on
+# BENCH_7 too.
+./target/release/sat-cli bench-compare BENCH_6.json BENCH_7.json --coop-floor 1.5 \
+  --wall-floor 0.9

@@ -1,0 +1,180 @@
+//! Parked flag waits under adversarial schedules: the lost-wakeup races,
+//! fast-fail guarantees, and worker-token handoff the park/wake contract
+//! promises (see the gpu-sim module docs on host execution vs modeled
+//! time). Everything here must hold with parking on (default) and degrade
+//! to the legacy spin ladder — never hang — under `GPU_SIM_NO_PARK=1`.
+
+use gpu_sim::prelude::*;
+use gpu_sim::sync::{parking_enabled, set_force_no_park};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes the tests that toggle or observe the process-global parking
+/// switch, so a kill-switch flip in one test cannot race a test asserting
+/// that parking happened.
+static PARK_SWITCH: Mutex<()> = Mutex::new(());
+
+/// A tiny deterministic LCG for adversarial-but-reproducible sleep
+/// schedules.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Publisher threads racing `wait_at_least` registration: one block
+/// publishes a long flag sequence with sleeps straddling every phase
+/// boundary of the wait ladder (publish-before-registration, mid-spin,
+/// mid-backoff, and past the park timeout), the other waits for each flag
+/// in order. A lost wakeup would strand the waiter until the deadlock
+/// limit; the run completing with every wait satisfied is the assertion.
+#[test]
+fn racing_publishers_never_lose_a_wakeup() {
+    const ROUNDS: u32 = 60;
+    for seed in 0..6u64 {
+        let gpu = Gpu::new(DeviceConfig::tiny())
+            .with_mode(ExecMode::Concurrent)
+            .with_dispatch(DispatchOrder::Random(seed));
+        let board = StatusBoard::new(ROUNDS as usize);
+        let counter = DeviceCounter::new();
+        let mut rng = 0x9E3779B97F4A7C15 ^ seed;
+        let pauses: Vec<u64> = (0..ROUNDS)
+            .map(|_| match lcg(&mut rng) % 4 {
+                // 0: publish immediately — races the waiter's registration.
+                0 => 0,
+                // 1: land mid hot-spin / backoff.
+                1 => 5,
+                // 2: land around the first park.
+                2 => 60,
+                // 3: outlast the park timeout so the waiter re-parks.
+                _ => 300,
+            })
+            .collect();
+        let km = gpu.launch(LaunchConfig::new("park-stress", 2, 32), |ctx| {
+            // The deadlock discipline wants waits to target smaller
+            // virtual ids, so the first-claimed block publishes.
+            if counter.next(ctx) == 0 {
+                for (r, &p) in pauses.iter().enumerate() {
+                    if p > 0 {
+                        std::thread::sleep(Duration::from_micros(p));
+                    }
+                    board.publish(ctx, r, 1);
+                }
+            } else {
+                for r in 0..ROUNDS as usize {
+                    assert_eq!(board.wait_at_least(ctx, r, 1), 1, "round {r} seed {seed}");
+                }
+            }
+        });
+        assert_eq!(km.stats.flag_waits, ROUNDS as u64, "seed {seed}");
+        assert_eq!(km.stats.flag_publishes, ROUNDS as u64, "seed {seed}");
+        // Schedule noise stays masked no matter how the race resolved.
+        let det = km.stats.deterministic();
+        assert_eq!((det.park_events, det.wakeups), (0, 0), "seed {seed}");
+    }
+}
+
+/// A parked wait with no producer must still hit the deadlock limit and
+/// fail fast: parking charges the equivalent of its sleep in iterations,
+/// so the limit converts to roughly the same wall time as the spinning
+/// ladder instead of a hang (or a timeout-free infinite condvar wait).
+#[test]
+fn parked_wait_past_the_deadlock_limit_fails_fast() {
+    let mut cfg = DeviceConfig::tiny();
+    cfg.deadlock_limit = 5_000;
+    let gpu = Gpu::new(cfg).with_mode(ExecMode::Concurrent);
+    let board = StatusBoard::new(1);
+    let t0 = Instant::now();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        gpu.launch(LaunchConfig::new("stuck-parked", 1, 32), |ctx| {
+            board.wait_at_least(ctx, 0, 1);
+        });
+    }))
+    .expect_err("a producerless wait must panic at the deadlock limit");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("soft-sync deadlock"), "unexpected panic: {msg}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "deadlock fast-fail took {:?} — parking must not stretch the limit",
+        t0.elapsed()
+    );
+}
+
+/// The worker-token handoff: with a single host worker, a block that
+/// parks on a flag hands its execution token back, which spawns/wakes a
+/// standby thread to run the publishing block. Without the handoff this
+/// grid cannot finish at all — the only worker would sit inside the
+/// waiting block until the deadlock limit.
+#[test]
+fn token_handoff_lets_one_worker_run_dependent_blocks() {
+    let _serial = PARK_SWITCH.lock().unwrap();
+    if !parking_enabled() {
+        return; // under GPU_SIM_NO_PARK this workload is a deadlock by design
+    }
+    let mut cfg = DeviceConfig::tiny();
+    cfg.host_workers = 1;
+    let gpu = Gpu::new(cfg).with_mode(ExecMode::Concurrent);
+    let board = StatusBoard::new(1);
+    let counter = DeviceCounter::new();
+    let km = gpu.launch(LaunchConfig::new("handoff", 2, 32), |ctx| {
+        if counter.next(ctx) == 0 {
+            // First-claimed block blocks the sole worker on purpose.
+            assert_eq!(board.wait_at_least(ctx, 0, 1), 1);
+        } else {
+            board.publish(ctx, 0, 1);
+        }
+    });
+    assert!(
+        km.stats.park_events >= 1,
+        "the waiting block must have parked, got {:?}",
+        km.stats
+    );
+    assert_eq!(km.stats.flag_waits, 1);
+    assert_eq!(km.stats.flag_publishes, 1);
+}
+
+/// The kill-switch parity the tier-1 gate runs in both directions: a
+/// flag-chained pipeline charges bit-identical deterministic counters
+/// whether its waits parked or spun, and the spinning run records no park
+/// events at all.
+#[test]
+fn kill_switch_preserves_deterministic_counters() {
+    let _serial = PARK_SWITCH.lock().unwrap();
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_force_no_park(false);
+        }
+    }
+    let _restore = Restore;
+    let run = |spin: bool| {
+        set_force_no_park(spin);
+        let gpu = Gpu::new(DeviceConfig::tiny()).with_mode(ExecMode::Concurrent);
+        let board = StatusBoard::new(4);
+        let counter = DeviceCounter::new();
+        let out = GlobalBuffer::<u64>::zeroed(4);
+        let km = gpu.launch(LaunchConfig::new("chain", 4, 32), |ctx| {
+            let vid = counter.next(ctx) as usize;
+            let carry = if vid == 0 { 0 } else { board.wait_at_least(ctx, vid - 1, 1) as u64 };
+            out.write(ctx, vid, carry + 1);
+            board.publish(ctx, vid, 1);
+        });
+        set_force_no_park(false);
+        (out.to_vec(), km.stats)
+    };
+    let (out_park, stats_park) = run(false);
+    let (out_spin, stats_spin) = run(true);
+    assert_eq!(out_park, vec![1, 2, 2, 2]);
+    assert_eq!(out_spin, out_park);
+    assert_eq!(
+        stats_park.deterministic(),
+        stats_spin.deterministic(),
+        "parked and spinning chains must charge identical deterministic counters"
+    );
+    assert_eq!(stats_spin.park_events, 0, "kill switch must suppress parking");
+    assert_eq!(stats_spin.wakeups, 0);
+}
