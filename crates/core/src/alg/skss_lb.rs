@@ -31,7 +31,7 @@ use gpu_sim::shared::Arrangement;
 use gpu_sim::sync::{DeviceCounter, StatusBoard};
 
 use super::{SatAlgorithm, SatParams};
-use crate::tile::{load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid, VecAux};
+use crate::tile::{load_tile_with_sums, tile_gsat_store, ScalarAux, TileGrid, VecAux};
 
 /// `R` status: `LRS(I,J)` published.
 pub const R_LRS: u8 = 1;
@@ -608,18 +608,16 @@ pub(crate) fn process_tile<T: DeviceElem>(
     let grid = state.grid;
     let idx = grid.tile_index(ti, tj);
 
-    // Step 1: tile into shared memory (diagonal arrangement),
-    // column sums computed during the copy.
-    let (mut tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, arrangement);
-    let mut lrs_v: Vec<T> = ctx.scratch(grid.w);
-    tile.row_sums_into(ctx, &mut lrs_v);
+    // Step 1: tile into shared memory (diagonal arrangement), column and
+    // row sums both computed during the copy while each row is cache-hot.
+    let (mut tile, lcs_v, lrs_v) = load_tile_with_sums(ctx, input, grid, ti, tj, arrangement);
     ctx.syncthreads();
 
     // Step 2.A: publish LRS, look back for GRS(I,J-1), publish GRS.
     state.lrs.write_vec(ctx, ti, tj, &lrs_v);
     state.r_flags.publish(ctx, idx, R_LRS);
     let grs_left = state.look_back_grs(ctx, ti, tj, decoupled, window);
-    let mut grs_cur: Vec<T> = ctx.scratch(grid.w);
+    let mut grs_cur: Vec<T> = ctx.scratch_overwrite(grid.w);
     grs_cur.copy_from_slice(&lrs_v);
     gpu_sim::simd::zip_add(&mut grs_cur, &grs_left);
     state.grs.write_vec(ctx, ti, tj, &grs_cur);
@@ -650,11 +648,11 @@ pub(crate) fn process_tile<T: DeviceElem>(
     state.gs.write(ctx, ti, tj, gs_prev.add(gls_val));
     state.r_flags.publish(ctx, idx, R_GS);
 
-    // Step 4: GSAT(I,J) from the borders, written out.
+    // Step 4: GSAT(I,J) from the borders, written out as the column
+    // accumulation finalizes each row.
     let left = (tj > 0).then_some(grs_left.as_slice());
     let top = (ti > 0).then_some(gcs_top.as_slice());
-    tile_gsat_in_place(ctx, &mut tile, left, top, gs_prev);
-    store_tile(ctx, output, grid, ti, tj, &tile);
+    tile_gsat_store(ctx, &mut tile, left, top, gs_prev, output, grid, ti, tj);
     tile.release(ctx);
     ctx.recycle(lrs_v);
     ctx.recycle(grs_left);

@@ -22,8 +22,7 @@ use gpu_sim::shared::Arrangement;
 
 use super::{SatAlgorithm, SatParams};
 use crate::tile::{
-    load_tile, load_tile_with_col_sums, store_tile, tile_gsat_in_place, ScalarAux, TileGrid,
-    VecAux, MAX_STACK_W,
+    load_tile, load_tile_with_sums, tile_gsat_store, ScalarAux, TileGrid, VecAux, MAX_STACK_W,
 };
 
 /// The auxiliary device arrays of one 2R1W run (local and global row /
@@ -73,9 +72,7 @@ pub(crate) fn k1_tile<T: DeviceElem>(
     tj: usize,
 ) {
     let grid = aux.grid;
-    let (tile, lcs_v) = load_tile_with_col_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
-    let mut lrs_v: Vec<T> = ctx.scratch_overwrite(grid.w);
-    tile.row_sums_into(ctx, &mut lrs_v);
+    let (tile, lcs_v, lrs_v) = load_tile_with_sums(ctx, input, grid, ti, tj, Arrangement::Diagonal);
     tile.release(ctx);
     ctx.syncthreads();
     let total = lcs_v.iter().fold(T::zero(), |a, &b| a.add(b));
@@ -199,8 +196,7 @@ pub(crate) fn k3_tile<T: DeviceElem>(
     let left = if tj > 0 { Some(aux.grs.read_vec_stack(ctx, ti, tj - 1, &mut lbuf)) } else { None };
     let top = if ti > 0 { Some(aux.gcs.read_vec_stack(ctx, ti - 1, tj, &mut tbuf)) } else { None };
     let corner = if ti > 0 && tj > 0 { aux.gs.read(ctx, ti - 1, tj - 1) } else { T::zero() };
-    tile_gsat_in_place(ctx, &mut tile, left, top, corner);
-    store_tile(ctx, output, grid, ti, tj, &tile);
+    tile_gsat_store(ctx, &mut tile, left, top, corner, output, grid, ti, tj);
     tile.release(ctx);
 }
 

@@ -31,7 +31,7 @@
 //! * [`CoopKernel::SkssLb`] / [`CoopKernel::SkssSh`] — the paper's
 //!   **look-back protocol stretched across devices**. All bands share one
 //!   full-grid [`State`]; a band's blocks claim its tiles in band-local
-//!   diagonal order and run the unmodified per-tile protocol with
+//!   row-major order and run the unmodified per-tile protocol with
 //!   `d2d_below` set to the band's first tile row. Look-back walks that
 //!   step above that row wait on the remote band's flags with
 //!   [`wait_at_least_remote`] and fetch its `LCS`/`GCS`/`GLS`/`GS` values
@@ -62,6 +62,22 @@
 //! regardless of wake order, and the look-back sum order is fixed by the
 //! walk itself.
 //!
+//! ## Persistent execution
+//!
+//! By default both pipelines run their band sequences as **persistent
+//! per-device jobs** ([`DeviceGroup::run_batch_resident`]): one resident
+//! driver per device iterates its assigned bands in place, executing every
+//! band's blocks inline against a per-lane scratch arena that survives
+//! from band to band, instead of the host issuing one pool launch per
+//! band. Cross-band ordering needs no launch boundaries — it is carried
+//! entirely by the `StatusBoard` flags above — and work stealing becomes a
+//! band-index handoff between the resident drivers. The per-band-launch
+//! path is kept fully functional behind `GPU_SIM_NO_PERSISTENT=1` /
+//! [`set_force_no_persistent`](gpu_sim::group::set_force_no_persistent),
+//! and the two paths execute the same block bodies in the same dispatch
+//! order, so all deterministic counters are bit-identical between them
+//! (the scheduling-parity suite asserts this).
+//!
 //! [`BlockStats::charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
 //! [`charge_d2d`]: gpu_sim::metrics::BlockStats::charge_d2d
 //! [`StatusBoard::wait_at_least_remote`]: gpu_sim::sync::StatusBoard::wait_at_least_remote
@@ -70,9 +86,9 @@
 
 use gpu_sim::elem::DeviceElem;
 use gpu_sim::global::GlobalBuffer;
-use gpu_sim::group::{DeviceGroup, GroupMetrics, StealPolicy};
-use gpu_sim::launch::LaunchConfig;
-use gpu_sim::metrics::{BlockStats, CriticalPath, RunMetrics};
+use gpu_sim::group::{persistent_enabled, DeviceGroup, GroupMetrics, StealPolicy};
+use gpu_sim::launch::{BlockCtx, Gpu, LaunchConfig, ScratchArena};
+use gpu_sim::metrics::{BlockStats, CriticalPath, KernelMetrics, RunMetrics};
 use gpu_sim::shared::Arrangement;
 use gpu_sim::sync::{DeviceCounter, StatusBoard};
 
@@ -151,15 +167,46 @@ pub fn even_bands(t: usize, bands: usize) -> Vec<usize> {
     (0..b).map(|d| (d + 1) * t / b - d * t / b).collect()
 }
 
+/// How a band job issues its kernels: one pool launch per kernel (the
+/// classic path), or inline on the resident lane driver against the
+/// lane's long-lived arena ([`Gpu::launch_resident`]). Both run the same
+/// body closures over the same dispatch permutation, so the counters they
+/// produce are identical by construction; only host mechanics differ.
+enum Exec<'a> {
+    Pooled,
+    Resident(&'a mut ScratchArena),
+}
+
+impl Exec<'_> {
+    fn launch<F: Fn(&mut BlockCtx) + Sync>(
+        &mut self,
+        gpu: &Gpu,
+        lc: LaunchConfig,
+        body: F,
+    ) -> KernelMetrics {
+        match self {
+            Exec::Pooled => gpu.launch(lc, body),
+            Exec::Resident(arena) => gpu.launch_resident(lc, arena, body),
+        }
+    }
+}
+
 /// One band: tile rows `[r0, r1)` of the grid, plus its claim state for
 /// the look-back pipelines (unused by 2R1W).
 struct BandPlan {
     d: usize,
     r0: usize,
     r1: usize,
-    /// Band tiles in band-local diagonal-major order (by `ti + tj`, then
-    /// `ti`) — the same anti-diagonal wavefront the one-shot SKSS kernels
-    /// use, restricted to the band.
+    /// Band tiles in band-local **row-major** claim order. Any order in
+    /// which every tile's up/left dependencies precede it is deadlock-free
+    /// (the earliest unfinished claim can always progress); row-major has
+    /// that property like the anti-diagonal wavefront does, and walks the
+    /// output image in streaming-store order — measurably cheaper on the
+    /// host than the diagonal sweep, whose store pattern jumps `n`-sized
+    /// strides between consecutive tiles. Output is identical either way
+    /// (the look-back accumulation order is fixed by the walk structure,
+    /// not the claim order); only schedule-masked read-side counters
+    /// shift.
     order: Vec<(usize, usize)>,
     counter: DeviceCounter,
 }
@@ -213,13 +260,9 @@ pub fn sat_huge_multi_device_bands<T: DeviceElem>(
                 d,
                 r0,
                 r1: r0 + h,
-                order: {
-                    let mut v: Vec<(usize, usize)> = (r0..r0 + h)
-                        .flat_map(|ti| (0..t).map(move |tj| (ti, tj)))
-                        .collect();
-                    v.sort_by_key(|&(ti, tj)| (ti + tj, ti));
-                    v
-                },
+                order: (r0..r0 + h)
+                    .flat_map(|ti| (0..t).map(move |tj| (ti, tj)))
+                    .collect(),
                 counter: DeviceCounter::new(),
             };
             r0 += h;
@@ -268,8 +311,7 @@ fn run_coop_2r1w<T: DeviceElem>(
     let bounds = GlobalBuffer::<T>::zeroed(bands.len() * n);
     let flags = StatusBoard::new(bands.len());
 
-    let jobs: Vec<&BandPlan> = bands.iter().collect();
-    group.run_batch_policy(jobs, policy, |gpu, band| {
+    let run_band = |gpu: &Gpu, exec: &mut Exec, band: &BandPlan| -> RunMetrics {
         let (d, r0, r1) = (band.d, band.r0, band.r1);
         let h = r1 - r0;
         let tpb = params.threads_per_block.min(gpu.config().max_threads_per_block);
@@ -277,14 +319,14 @@ fn run_coop_2r1w<T: DeviceElem>(
         let mut rm = RunMetrics::default();
 
         // k1 over the band's h*t tiles.
-        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k1", h * t, tpb), |ctx| {
+        rm.push(exec.launch(gpu, LaunchConfig::new("coop_2r1w_k1", h * t, tpb), |ctx| {
             let b = ctx.block_idx();
             two_r_one_w::k1_tile(ctx, input, &aux, r0 + b / t, b % t);
         }));
 
         // Band-local k2: h full-width row scans (GRS is already global),
         // t column scans over the band's rows, one band GS grid scan.
-        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k2", h + t + 1, stpb), |ctx| {
+        rm.push(exec.launch(gpu, LaunchConfig::new("coop_2r1w_k2", h + t + 1, stpb), |ctx| {
             let b = ctx.block_idx();
             if b < h {
                 two_r_one_w::k2_row_scan(ctx, &aux, r0 + b);
@@ -296,7 +338,7 @@ fn run_coop_2r1w<T: DeviceElem>(
         }));
 
         // Publish the band's total column sums to the bounds buffer.
-        rm.push(gpu.launch(LaunchConfig::new("coop_publish", 1, stpb), |ctx| {
+        rm.push(exec.launch(gpu, LaunchConfig::new("coop_publish", 1, stpb), |ctx| {
             let mut row: Vec<T> = ctx.scratch(w);
             for tj in 0..t {
                 aux.gcs.read_vec_into(ctx, r1 - 1, tj, &mut row);
@@ -312,7 +354,7 @@ fn run_coop_2r1w<T: DeviceElem>(
         // Pull every earlier band's boundary row, accumulate the carry,
         // and upgrade the band-local GCS/GS rows to global in place.
         if d > 0 {
-            rm.push(gpu.launch(LaunchConfig::new("coop_carry", 1, stpb), |ctx| {
+            rm.push(exec.launch(gpu, LaunchConfig::new("coop_carry", 1, stpb), |ctx| {
                 let mut carry: Vec<T> = ctx.scratch(n);
                 for e in 0..d {
                     flags.wait_at_least_remote(ctx, e, 1);
@@ -351,18 +393,28 @@ fn run_coop_2r1w<T: DeviceElem>(
         }
 
         // k3 unchanged: every border row it reads is global by now.
-        rm.push(gpu.launch(LaunchConfig::new("coop_2r1w_k3", h * t, tpb), |ctx| {
+        rm.push(exec.launch(gpu, LaunchConfig::new("coop_2r1w_k3", h * t, tpb), |ctx| {
             let b = ctx.block_idx();
             two_r_one_w::k3_tile(ctx, input, output, &aux, r0 + b / t, b % t);
         }));
         rm
-    })
+    };
+
+    let jobs: Vec<&BandPlan> = bands.iter().collect();
+    if persistent_enabled() {
+        group.run_batch_resident(jobs, policy, |gpu, arena, band| {
+            run_band(gpu, &mut Exec::Resident(arena), band)
+        })
+    } else {
+        group.run_batch_policy(jobs, policy, |gpu, band| run_band(gpu, &mut Exec::Pooled, band))
+    }
 }
 
-/// The cross-device look-back pipeline: one shared [`State`], one launch
-/// per band, tiles claimed in band-local diagonal order, `d2d_below` set
-/// to the band's first row so walks that leave the band go through the
-/// interconnect.
+/// The cross-device look-back pipeline: one shared [`State`], one kernel
+/// per band, tiles claimed in band-local row-major order (see
+/// [`BandPlan::order`] for why that is deadlock-free and cheaper on the
+/// host), `d2d_below` set to the band's first row so walks that leave the
+/// band go through the interconnect.
 #[allow(clippy::too_many_arguments)]
 fn run_coop_skss<T: DeviceElem>(
     group: &DeviceGroup,
@@ -380,8 +432,7 @@ fn run_coop_skss<T: DeviceElem>(
     let label = kernel.name();
     let window = DEFAULT_LOOKBACK_WINDOW;
 
-    let jobs: Vec<&BandPlan> = bands.iter().collect();
-    group.run_batch_policy(jobs, policy, |gpu, band| {
+    let run_band = |gpu: &Gpu, exec: &mut Exec, band: &BandPlan| -> RunMetrics {
         let h = band.r1 - band.r0;
         let tpb = if systolic { w } else { params.threads_per_block.min(gpu.config().max_threads_per_block) };
         // The band's own wavefront spans h + t - 1 anti-diagonals; the
@@ -393,7 +444,7 @@ fn run_coop_skss<T: DeviceElem>(
             lc = lc.with_ilp(w);
         }
         let mut rm = RunMetrics::default();
-        rm.push(gpu.launch(lc, |ctx| loop {
+        rm.push(exec.launch(gpu, lc, |ctx| loop {
             let s = band.counter.next(ctx) as usize;
             if s >= band.order.len() {
                 return;
@@ -417,7 +468,16 @@ fn run_coop_skss<T: DeviceElem>(
             }
         }));
         rm
-    })
+    };
+
+    let jobs: Vec<&BandPlan> = bands.iter().collect();
+    if persistent_enabled() {
+        group.run_batch_resident(jobs, policy, |gpu, arena, band| {
+            run_band(gpu, &mut Exec::Resident(arena), band)
+        })
+    } else {
+        group.run_batch_policy(jobs, policy, |gpu, band| run_band(gpu, &mut Exec::Pooled, band))
+    }
 }
 
 #[cfg(test)]

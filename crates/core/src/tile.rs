@@ -373,6 +373,31 @@ pub fn load_tile_with_col_sums<T: DeviceElem>(
     (tile, col_sums)
 }
 
+/// [`load_tile_with_col_sums`] also producing the tile's row sums (`LRS`)
+/// in the same streaming pass. Values and counters are bit-identical to
+/// the unfused load + [`SharedTile::row_sums_into`] sequence.
+pub fn load_tile_with_sums<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    input: &GlobalBuffer<T>,
+    grid: TileGrid,
+    ti: usize,
+    tj: usize,
+    arrangement: Arrangement,
+) -> (SharedTile<T>, Vec<T>, Vec<T>) {
+    let mut tile = SharedTile::alloc_scratch_uninit(ctx, grid.w, arrangement);
+    let mut col_sums: Vec<T> = ctx.scratch_overwrite(grid.w);
+    let mut row_sums: Vec<T> = ctx.scratch_overwrite(grid.w);
+    tile.load_from_global_with_sums(
+        ctx,
+        input,
+        grid.elem_offset(ti, tj, 0, 0),
+        grid.n,
+        &mut col_sums,
+        &mut row_sums,
+    );
+    (tile, col_sums, row_sums)
+}
+
 /// Copy a shared-memory tile back to tile `(I,J)` of `output` — Step 4 of
 /// the shared-memory SAT algorithm. `W` coalesced row writes.
 pub fn store_tile<T: DeviceElem>(
@@ -425,6 +450,30 @@ pub fn tile_gsat_in_place<T: DeviceElem>(
     tile.sat_in_place(ctx);
     // The fused scan stands in for two barrier-separated passes; charge
     // both barriers so the counters match the unfused sequence.
+    ctx.syncthreads();
+    ctx.syncthreads();
+}
+
+/// [`tile_gsat_in_place`] fused with the store of the finished `GSAT`
+/// tile back to global memory — the column-accumulation pass writes each
+/// finalized row straight out instead of staging it and copying in a
+/// separate [`store_tile`] pass. Output values and counters are
+/// bit-identical to `tile_gsat_in_place` followed by `store_tile`.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_gsat_store<T: DeviceElem>(
+    ctx: &mut BlockCtx,
+    tile: &mut SharedTile<T>,
+    left: Option<&[T]>,
+    top: Option<&[T]>,
+    corner: T,
+    output: &GlobalBuffer<T>,
+    grid: TileGrid,
+    ti: usize,
+    tj: usize,
+) {
+    apply_borders(ctx, tile, left, top, corner);
+    ctx.syncthreads();
+    tile.sat_store_to_global(ctx, output, grid.elem_offset(ti, tj, 0, 0), grid.n);
     ctx.syncthreads();
     ctx.syncthreads();
 }
@@ -544,6 +593,49 @@ mod tests {
             lcs_out.store_row(ctx, 0, &lcs);
         });
         assert_eq!(lcs_out.to_vec(), sums.lcs(1, 0));
+    }
+
+    #[test]
+    fn fused_load_and_gsat_store_match_unfused_values_and_counters() {
+        let n = 8;
+        let a = sample(n);
+        let grid = TileGrid::new(n, 4);
+        let input = a.to_device();
+        let sums = TileSums::new(&a, grid);
+        let grs = sums.grs(1, 0);
+        let gcs = sums.gcs(0, 1);
+        let gs = sums.gs(0, 0);
+
+        let run = |fused: bool| {
+            let gpu = Gpu::new(DeviceConfig::tiny());
+            let output = GlobalBuffer::<u64>::zeroed(n * n);
+            let sums_out = GlobalBuffer::<u64>::zeroed(8);
+            let m = gpu.launch(LaunchConfig::new("fuse", 1, 16), |ctx| {
+                if fused {
+                    let (mut tile, lcs, lrs) =
+                        load_tile_with_sums(ctx, &input, grid, 1, 1, Arrangement::Diagonal);
+                    sums_out.store_row(ctx, 0, &lcs);
+                    sums_out.store_row(ctx, 4, &lrs);
+                    tile_gsat_store(ctx, &mut tile, Some(&grs), Some(&gcs), gs, &output, grid, 1, 1);
+                } else {
+                    let (mut tile, lcs) =
+                        load_tile_with_col_sums(ctx, &input, grid, 1, 1, Arrangement::Diagonal);
+                    let mut lrs = vec![0u64; 4];
+                    tile.row_sums_into(ctx, &mut lrs);
+                    sums_out.store_row(ctx, 0, &lcs);
+                    sums_out.store_row(ctx, 4, &lrs);
+                    tile_gsat_in_place(ctx, &mut tile, Some(&grs), Some(&gcs), gs);
+                    store_tile(ctx, &output, grid, 1, 1, &tile);
+                }
+            });
+            (output.to_vec(), sums_out.to_vec(), m.stats.deterministic())
+        };
+
+        let (out_f, sums_f, det_f) = run(true);
+        let (out_u, sums_u, det_u) = run(false);
+        assert_eq!(out_f, out_u);
+        assert_eq!(sums_f, sums_u);
+        assert_eq!(det_f, det_u, "fused paths must charge exactly the unfused counters");
     }
 
     #[test]

@@ -456,6 +456,24 @@ impl PoolShared {
         }
     }
 
+    /// A resident group driver announces it will execute blocks inline on
+    /// its own thread for an extended span: claim one execution token so
+    /// the pool's concurrency budget counts the driver like one of its own
+    /// workers. Called while the driver is runnable (batch start), so —
+    /// unlike [`PoolShared::park_end`]'s debt re-acquire — going negative
+    /// here would only happen if the pool were already oversubscribed,
+    /// which the debt model tolerates by design. Balanced by exactly one
+    /// [`PoolShared::driver_end`].
+    pub(crate) fn driver_begin(&self) {
+        self.queue.lock().unwrap().tokens -= 1;
+    }
+
+    /// Return a resident driver's token at the end of its batch; wakes a
+    /// waiting thread when claimable work is pending.
+    pub(crate) fn driver_end(&self) {
+        self.release_token();
+    }
+
     fn spawn_standby(self: &Arc<Self>) {
         let shared = Arc::clone(self);
         let h = std::thread::Builder::new()

@@ -43,6 +43,41 @@ pub fn force_scalar() -> bool {
     FORCE_SCALAR.load(Ordering::Relaxed)
 }
 
+/// Ask the kernel to back a large allocation with transparent huge pages.
+///
+/// Multi-gigabyte simulated device buffers are walked tile by tile with a
+/// 64 KiB stride between consecutive rows, so with 4 KiB pages every row of
+/// every tile touches a fresh TLB entry. `MADV_HUGEPAGE` (the default THP
+/// policy on most hosts is `madvise`) cuts that walk by 512x. The advice is
+/// issued before first touch so the pages fault in huge; failures (other
+/// platforms, tiny mappings, THP disabled) are silently ignored — this is
+/// purely a performance hint and never affects results or counters.
+fn advise_huge_pages(ptr: *const u8, bytes: usize) {
+    #[cfg(target_os = "linux")]
+    {
+        const HUGE_PAGE: usize = 2 * 1024 * 1024;
+        const MADV_HUGEPAGE: i32 = 14;
+        extern "C" {
+            fn madvise(addr: *mut core::ffi::c_void, len: usize, advice: i32) -> i32;
+        }
+        if bytes < 2 * HUGE_PAGE {
+            return;
+        }
+        let lo = (ptr as usize + HUGE_PAGE - 1) & !(HUGE_PAGE - 1);
+        let hi = (ptr as usize + bytes) & !(HUGE_PAGE - 1);
+        if hi > lo {
+            // SAFETY: [lo, hi) is a page-aligned subrange of the live
+            // allocation [ptr, ptr + bytes); MADV_HUGEPAGE does not alter
+            // the mapping's contents or validity.
+            unsafe {
+                madvise(lo as *mut core::ffi::c_void, hi - lo, MADV_HUGEPAGE);
+            }
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = (ptr, bytes);
+}
+
 /// A typed allocation in simulated device global memory.
 pub struct GlobalBuffer<T: DeviceElem> {
     data: Box<[T::Atom]>,
@@ -53,6 +88,7 @@ impl<T: DeviceElem> GlobalBuffer<T> {
     /// Allocate `len` elements, zero-initialized (as `cudaMemset(0)`).
     pub fn zeroed(len: usize) -> Self {
         let mut v = Vec::with_capacity(len);
+        advise_huge_pages(v.as_ptr() as *const u8, len * std::mem::size_of::<T::Atom>());
         v.resize_with(len, T::Atom::default);
         let buf = GlobalBuffer { data: v.into_boxed_slice(), len };
         // `T::Atom::default()` is the zero bit pattern, which is `T::zero()`
@@ -149,6 +185,14 @@ impl<T: DeviceElem> GlobalBuffer<T> {
         let n = dst.len() as u64;
         ctx.stats.charge_global_read(n, n * T::BYTES);
         T::load_slice(&self.data[offset..offset + dst.len()], dst);
+    }
+
+    /// Physical write of consecutive elements with no accounting. The
+    /// caller must already have charged the equivalent bulk store;
+    /// crate-internal building block for fused compute+store paths.
+    #[inline]
+    pub(crate) fn store_row_raw(&self, offset: usize, src: &[T]) {
+        T::store_slice(&self.data[offset..offset + src.len()], src);
     }
 
     /// Coalesced bulk write of consecutive elements starting at `offset`.

@@ -38,6 +38,18 @@
 //! balanced even when the OS runs one driver thread far ahead of the
 //! others, which is what makes [`GroupMetrics`] reproducible anywhere.
 //!
+//! ## Persistent batches
+//!
+//! [`DeviceGroup::run_batch_resident`] is the **persistent-grid** variant:
+//! the same sharding and steal discipline, but each driver thread stays
+//! resident for the whole sequence, executes its jobs' blocks inline
+//! ([`Gpu::launch_resident`](crate::launch::Gpu::launch_resident)) against
+//! a per-lane [`ScratchArena`] reused across jobs, and participates in its
+//! device pool's worker-token economy (`driver_begin` / `DriverPark`).
+//! Idle lanes block on the event-driven `Progress` condvar — bumped on
+//! every job completion — rather than any fixed-period poll, in both
+//! variants.
+//!
 //! ## Accounting
 //!
 //! Each job reports its [`RunMetrics`]; lanes aggregate them into
@@ -52,13 +64,49 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use crate::device::DeviceConfig;
-use crate::launch::{DispatchOrder, ExecMode, Gpu};
+use crate::executor::PoolShared;
+use crate::launch::{DispatchOrder, ExecMode, Gpu, ScratchArena};
 use crate::metrics::{BlockStats, RunMetrics};
 use crate::timing::run_seconds;
+
+static NO_PERSISTENT_ENV: AtomicBool = AtomicBool::new(false);
+static NO_PERSISTENT_INIT: Once = Once::new();
+static FORCE_NO_PERSISTENT: AtomicBool = AtomicBool::new(false);
+
+/// Whether callers that support it should use persistent (resident)
+/// cooperative execution ([`DeviceGroup::run_batch_resident`]) instead of
+/// one pool launch per band. `false` when the `GPU_SIM_NO_PERSISTENT`
+/// environment variable is set (to anything but `0`) or while
+/// [`set_force_no_persistent`] is on — mirroring the `GPU_SIM_NO_VECTOR` /
+/// `force_scalar` and `GPU_SIM_NO_PARK` /
+/// [`set_force_no_park`](crate::sync::set_force_no_park) pairs, and
+/// composing with both: the switches gate independent mechanisms (host
+/// vectorization, parked waits, resident grids) and any combination is
+/// legal.
+///
+/// This is advisory for *algorithm* code choosing between two equivalent
+/// execution strategies; the [`DeviceGroup`] APIs themselves always do
+/// exactly what they are told.
+#[inline]
+pub fn persistent_enabled() -> bool {
+    NO_PERSISTENT_INIT.call_once(|| {
+        let off = std::env::var_os("GPU_SIM_NO_PERSISTENT").is_some_and(|v| v != "0");
+        NO_PERSISTENT_ENV.store(off, Ordering::SeqCst);
+    });
+    !NO_PERSISTENT_ENV.load(Ordering::Relaxed) && !FORCE_NO_PERSISTENT.load(Ordering::Relaxed)
+}
+
+/// Process-global test switch disabling persistent cooperative execution
+/// (the per-band-launch path runs instead). Like `force_scalar` and
+/// `set_force_no_park`, only flip this while no cooperative run is in
+/// flight.
+pub fn set_force_no_persistent(on: bool) {
+    FORCE_NO_PERSISTENT.store(on, Ordering::SeqCst);
+}
 
 /// Whether an idle device may take jobs from a peer's shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +149,22 @@ impl DeviceGroup {
         let member = cfg.for_group_member(count);
         let devices = (0..count)
             .map(|d| Gpu::new(member.clone()).with_mode(ExecMode::Concurrent).with_ordinal(d))
+            .collect();
+        DeviceGroup { devices }
+    }
+
+    /// A group of `count` devices each using `cfg` **exactly** — no
+    /// [`DeviceConfig::for_group_member`] worker split. For tests that
+    /// need a deterministic per-device worker count (e.g. a one-worker
+    /// pool to exercise the resident driver's token handoff) and for
+    /// callers that have already budgeted host workers themselves.
+    ///
+    /// # Panics
+    /// If `count` is zero.
+    pub fn with_member_config(cfg: DeviceConfig, count: usize) -> Self {
+        assert!(count > 0, "a DeviceGroup needs at least one device");
+        let devices = (0..count)
+            .map(|d| Gpu::new(cfg.clone()).with_mode(ExecMode::Concurrent).with_ordinal(d))
             .collect();
         DeviceGroup { devices }
     }
@@ -193,7 +257,109 @@ impl DeviceGroup {
                     let (shards, clocks, abort, first_panic, progress, run) =
                         (&shards, &clocks, &abort, &first_panic, &progress, &run);
                     s.spawn(move || {
-                        drive_lane(d, gpu, shards, clocks, policy, abort, first_panic, progress, run)
+                        let mut call = |gpu: &Gpu, j: J| run(gpu, j);
+                        drive_lane(
+                            d,
+                            gpu,
+                            shards,
+                            clocks,
+                            policy,
+                            abort,
+                            first_panic,
+                            progress,
+                            None,
+                            &mut call,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device driver thread died outside a job"))
+                .collect()
+        });
+
+        if let Some(p) = first_panic.into_inner().unwrap() {
+            resume_unwind(p);
+        }
+        GroupMetrics { lanes, wall_seconds: started.elapsed().as_secs_f64() }
+    }
+
+    /// Run a batch as **persistent per-device jobs**: one driver per device
+    /// stays resident for the whole band sequence instead of the host
+    /// re-launching per job, and each driver owns a [`ScratchArena`] that
+    /// jobs reuse across the sequence (blocks run inline on the driver via
+    /// [`Gpu::launch_resident`](crate::launch::Gpu::launch_resident), so
+    /// scratch allocations survive from band to band instead of being
+    /// rebuilt at every launch boundary).
+    ///
+    /// Work stealing is the same band-index handoff as
+    /// [`run_batch_policy`] — a job is just an index into the sequence,
+    /// and migrating it between resident drivers moves the index, not a
+    /// launch. Cross-band ordering is whatever the jobs themselves enforce
+    /// (e.g. `StatusBoard` publication flags); there are no launch
+    /// boundaries left to order by.
+    ///
+    /// Each resident driver claims one worker token from its device pool
+    /// (`PoolShared::driver_begin`) for the duration of the batch — it
+    /// executes blocks itself, so it takes a worker's place — and hands
+    /// the token back whenever it blocks waiting for steal eligibility
+    /// (`DriverPark`), exactly like a parked flag wait inside a pool
+    /// block. Jobs may still submit ordinary pool launches; those compose
+    /// with the resident driver's token discipline.
+    pub fn run_batch_resident<J, F>(&self, jobs: Vec<J>, policy: StealPolicy, run: F) -> GroupMetrics
+    where
+        J: Send,
+        F: Fn(&Gpu, &mut ScratchArena, J) -> RunMetrics + Sync,
+    {
+        let nd = self.devices.len();
+        let m = jobs.len();
+        let started = Instant::now();
+
+        let mut iter = jobs.into_iter();
+        let shards: Vec<Mutex<VecDeque<J>>> = (0..nd)
+            .map(|d| {
+                let span = (d + 1) * m / nd - d * m / nd;
+                Mutex::new(iter.by_ref().take(span).collect())
+            })
+            .collect();
+
+        let clocks: Vec<AtomicU64> = (0..nd).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        let abort = AtomicBool::new(false);
+        let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let progress = Progress::default();
+
+        let lanes: Vec<DeviceLane> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(d, gpu)| {
+                    let (shards, clocks, abort, first_panic, progress, run) =
+                        (&shards, &clocks, &abort, &first_panic, &progress, &run);
+                    s.spawn(move || {
+                        // The driver executes blocks inline for the whole
+                        // batch: claim a worker token up front and return
+                        // it at exit, so the device pool's concurrency
+                        // budget counts this thread like one of its own.
+                        let pool = Arc::clone(gpu.pool_shared());
+                        pool.driver_begin();
+                        let mut arena = ScratchArena::default();
+                        let mut call = |gpu: &Gpu, j: J| run(gpu, &mut arena, j);
+                        let lane = drive_lane(
+                            d,
+                            gpu,
+                            shards,
+                            clocks,
+                            policy,
+                            abort,
+                            first_panic,
+                            progress,
+                            Some(&pool),
+                            &mut call,
+                        );
+                        pool.driver_end();
+                        lane
                     })
                 })
                 .collect();
@@ -215,8 +381,16 @@ impl DeviceGroup {
 /// whose simulated clock is ahead of every victim's wait here instead of
 /// sleeping blind — the same parked-over-spinning trade
 /// [`sync::parking_enabled`](crate::sync::parking_enabled) governs for
-/// flag waits, so the same kill-switch reverts it. The 200µs timeout
-/// backstop means correctness never depends on a wake arriving.
+/// flag waits, so the same kill-switch reverts it.
+///
+/// The wait is purely **event-driven**: no timeout, no fixed-period
+/// polling. That is safe because `bump` takes the same mutex the waiter
+/// holds between its generation check and its sleep (no lost wakeup), and
+/// because a waiting lane can only be unblocked by events that all bump:
+/// a job completing (the owner of any non-empty shard never waits, so
+/// jobs remaining implies some lane is running) or the batch aborting.
+/// When the last job's completion bump wakes the final waiters they
+/// observe every shard empty and exit.
 #[derive(Default)]
 struct Progress {
     generation: Mutex<u64>,
@@ -232,17 +406,12 @@ impl Progress {
         self.advanced.notify_all();
     }
 
-    /// Wait until the generation moves past `seen` or ~200µs elapses.
+    /// Block until the generation moves past `seen`.
     fn wait_past(&self, seen: u64) {
-        let g = self.generation.lock().unwrap();
-        if *g != seen {
-            return;
+        let mut g = self.generation.lock().unwrap();
+        while *g == seen {
+            g = self.advanced.wait(g).unwrap();
         }
-        drop(
-            self.advanced
-                .wait_timeout_while(g, Duration::from_micros(200), |g| *g == seen)
-                .unwrap(),
-        );
     }
 
     fn current(&self) -> u64 {
@@ -250,10 +419,41 @@ impl Progress {
     }
 }
 
+/// RAII wrapper for a resident lane driver's token handoff while it is
+/// blocked between jobs: `PoolShared::park_begin` on construction hands
+/// the driver's execution token back to its device pool (waking an idle
+/// worker — or spawning a standby — if claimable pool work is pending),
+/// `PoolShared::park_end` on drop re-acquires in never-blocking debt
+/// mode. Exactly the contract parked flag waits use, stretched to the
+/// driver itself so a lane stalled on steal eligibility never starves
+/// concurrent pool launches on the same device.
+struct DriverPark<'a>(&'a Arc<PoolShared>);
+
+impl<'a> DriverPark<'a> {
+    fn engage(pool: &'a Arc<PoolShared>) -> Self {
+        pool.park_begin();
+        DriverPark(pool)
+    }
+}
+
+impl Drop for DriverPark<'_> {
+    fn drop(&mut self) {
+        self.0.park_end();
+    }
+}
+
 /// The per-device driver loop: pop own shard from the front, steal from
-/// eligible victims' backs, park briefly when neither applies.
+/// eligible victims' backs, block on the progress condvar when neither
+/// applies.
+///
+/// `token` is `Some` for **resident** drivers ([`DeviceGroup::run_batch_resident`]): the driver holds one of its device pool's
+/// worker tokens for the whole batch (claimed by the caller via
+/// `PoolShared::driver_begin`) and hands it back through a
+/// `DriverPark` guard for the duration of every idle wait, so pool
+/// launches submitted by resident jobs on the same device can always
+/// make progress even on a one-worker pool.
 #[allow(clippy::too_many_arguments)]
-fn drive_lane<J, F>(
+fn drive_lane<J: Send>(
     d: usize,
     gpu: &Gpu,
     shards: &[Mutex<VecDeque<J>>],
@@ -262,12 +462,9 @@ fn drive_lane<J, F>(
     abort: &AtomicBool,
     first_panic: &Mutex<Option<Box<dyn Any + Send>>>,
     progress: &Progress,
-    run: &F,
-) -> DeviceLane
-where
-    J: Send,
-    F: Fn(&Gpu, J) -> RunMetrics + Sync,
-{
+    token: Option<&Arc<PoolShared>>,
+    run: &mut dyn FnMut(&Gpu, J) -> RunMetrics,
+) -> DeviceLane {
     let mut lane = DeviceLane {
         ordinal: d,
         jobs: 0,
@@ -281,7 +478,13 @@ where
         if abort.load(Ordering::Relaxed) {
             break;
         }
-        let (job, stolen) = match shards[d].lock().unwrap().pop_front() {
+        // The pop must be a standalone statement: as a match scrutinee the
+        // guard temporary would live for the whole match, so `steal_from`
+        // would lock other shards while this lane's shard is still held —
+        // two lanes stealing at once then deadlock ABBA on each other's
+        // shard mutex.
+        let own = shards[d].lock().unwrap().pop_front();
+        let (job, stolen) = match own {
             Some(j) => (Some(j), false),
             None if policy == StealPolicy::StealOnIdle => (steal_from(d, shards, clocks), true),
             None => (None, false),
@@ -302,6 +505,18 @@ where
                         // broadcast after the store so a waiter that wakes
                         // is guaranteed to see the new clock.
                         progress.bump();
+                        if policy == StealPolicy::StealOnIdle {
+                            // Give the waiters just woken a scheduling
+                            // window to observe eligibility and steal
+                            // before this lane claims its next job. The
+                            // per-launch path got this interleave for free
+                            // from the submit/complete round-trip of every
+                            // job; a resident lane runs inline and would
+                            // otherwise drain its whole shard in one
+                            // scheduler slice on a loaded single-core
+                            // host, starving thieves of the window.
+                            std::thread::yield_now();
+                        }
                     }
                     Err(p) => {
                         abort.store(true, Ordering::Relaxed);
@@ -332,7 +547,17 @@ where
                 // every victim's: wait for another lane to report progress
                 // (their clocks advance and eligibility returns, or the
                 // shards empty and the loop exits). Under GPU_SIM_NO_PARK
-                // fall back to the original blind yield + sleep poll.
+                // fall back to the original blind yield + sleep poll. A
+                // resident driver hands its worker token back for the
+                // whole wait — including the NO_PARK fallback, which is
+                // pool bookkeeping rather than condvar parking, so the
+                // kill-switch does not apply to it (and must not: a blind
+                // sleep holding the only token would starve pool launches
+                // submitted by jobs on other lanes).
+                let _handoff = token.map(|p| {
+                    lane.stats.token_handoffs += 1;
+                    DriverPark::engage(p)
+                });
                 if crate::sync::parking_enabled() {
                     progress.wait_past(seen);
                 } else {
@@ -448,6 +673,25 @@ impl GroupMetrics {
     /// lanes.
     pub fn d2d_bytes(&self) -> u64 {
         self.lanes.iter().map(|l| l.stats.d2d_bytes).sum()
+    }
+
+    /// Total timed condvar parks across all lanes (scheduling artifact,
+    /// masked from the deterministic counter set; recorded so a bench
+    /// document shows how often waits actually slept).
+    pub fn park_events(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stats.park_events).sum()
+    }
+
+    /// Total publisher-initiated wakes of parked waiters across all lanes
+    /// (`park_events - wakeups` parks expired on the timeout instead).
+    pub fn wakeups(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stats.wakeups).sum()
+    }
+
+    /// Total worker-token handoffs (a blocked wait or an idle resident
+    /// driver returning its execution token to the pool) across all lanes.
+    pub fn token_handoffs(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stats.token_handoffs).sum()
     }
 
     /// Modeled completion time of the batch: the devices run in parallel,
@@ -571,6 +815,47 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "job fault");
+    }
+
+    #[test]
+    fn resident_batches_match_pooled_batches() {
+        // The persistent-driver variant must be observably identical to
+        // the per-launch path: same totals, same deterministic counters,
+        // same modeled work — across device counts and steal policies.
+        let jobs = || (0..12u64).map(|i| i + 1).collect::<Vec<_>>();
+        let reference = DeviceGroup::new(DeviceConfig::tiny(), 1).run_batch(jobs(), fill_job);
+        for nd in [1, 2, 4] {
+            let g = DeviceGroup::new(DeviceConfig::tiny(), nd);
+            for policy in [StealPolicy::Disabled, StealPolicy::StealOnIdle] {
+                let got = g.run_batch_resident(jobs(), policy, |gpu, arena, v| {
+                    // fill_job, with the launch run inline on the driver.
+                    let buf = GlobalBuffer::<u64>::zeroed(64);
+                    let mut rm = RunMetrics::default();
+                    rm.push(gpu.launch_resident(
+                        LaunchConfig::new("fill", 4, 32),
+                        arena,
+                        |ctx| {
+                            let base = ctx.block_idx() * 16;
+                            buf.fill(ctx, base, 16, v);
+                        },
+                    ));
+                    assert_eq!(buf.to_vec(), vec![v; 64]);
+                    rm
+                });
+                assert_eq!(got.total_jobs(), 12, "{nd} devices, {policy:?}");
+                assert_eq!(got.kernel_calls(), 12, "{nd} devices, {policy:?}");
+                assert_eq!(
+                    got.deterministic(),
+                    reference.deterministic(),
+                    "{nd} devices, {policy:?}: resident execution must not change counters"
+                );
+                assert!(
+                    (got.modeled_device_seconds() - reference.modeled_device_seconds()).abs()
+                        < 1e-12,
+                    "{nd} devices, {policy:?}: modeled work is schedule-independent"
+                );
+            }
+        }
     }
 
     #[test]

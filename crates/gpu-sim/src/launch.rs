@@ -181,8 +181,32 @@ impl ScratchArena {
 
     /// A pooled buffer resized to `len` whose contents are unspecified
     /// stale values (only growth beyond the recycled length is zeroed).
+    ///
+    /// Selection is best-fit by length: the smallest pooled buffer that
+    /// already covers `len`, so a kernel cycling through two buffer sizes
+    /// (a tile backing and a handful of border vectors, say) keeps each
+    /// size in its own buffer instead of truncating the big one for a
+    /// small request and then re-growing — and re-zeroing — a small one
+    /// for the next tile.
     fn take_raw<T: DeviceElem>(&mut self, len: usize) -> Vec<T> {
-        let mut v = self.pool_mut::<T>().pop().unwrap_or_default();
+        let pool = self.pool_mut::<T>();
+        let mut pick: Option<usize> = None;
+        for (i, v) in pool.iter().enumerate() {
+            let better = match pick {
+                None => true,
+                Some(p) => {
+                    let pl = pool[p].len();
+                    if pl >= len { v.len() >= len && v.len() < pl } else { v.len() > pl }
+                }
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        let mut v = match pick {
+            Some(i) => pool.swap_remove(i),
+            None => Vec::new(),
+        };
         if v.len() >= len {
             v.truncate(len);
         } else {
@@ -223,9 +247,11 @@ pub struct BlockCtx<'a> {
     abort: Option<&'a AtomicBool>,
     /// The worker pool executing this block, when there is one: parked
     /// flag waits hand their execution token back through it
-    /// ([`PoolShared::park_begin`]). `None` for sequential blocks, the
-    /// one-block inline fast path, and group driver threads — those parks
-    /// have no token to return.
+    /// ([`PoolShared::park_begin`]). Set both for pool-run blocks and for
+    /// blocks a resident group driver runs inline
+    /// ([`Gpu::launch_resident`]) — the driver holds a worker token, and
+    /// its parks return *that* token. `None` only for sequential blocks
+    /// and the one-block inline fast path, which hold no token.
     pool: Option<&'a Arc<PoolShared>>,
     /// The block's access counters; buffer and tile accessors charge here.
     pub stats: BlockStats,
@@ -442,6 +468,12 @@ impl Gpu {
         self.engine.pool.get_or_init(|| WorkerPool::new(&self.cfg, self.ordinal))
     }
 
+    /// The pool's shared state (started on first use) — for resident group
+    /// drivers that participate in the worker-token economy.
+    pub(crate) fn pool_shared(&self) -> &Arc<PoolShared> {
+        self.pool().shared()
+    }
+
     /// Number of host worker threads serving this device's pool (started
     /// on first use). Stream lanes beyond this count cannot overlap — the
     /// pool has nothing to run them on — so batch pipelines use it to cap
@@ -504,6 +536,92 @@ impl Gpu {
         F: Fn(&mut BlockCtx) + Sync,
     {
         self.launch_inner(lc, Some(tracer), body)
+    }
+
+    /// Launch a kernel as part of a **persistent** (resident) grid: run
+    /// every block inline on the calling thread — a resident group driver
+    /// holding a worker token — against the caller's long-lived `arena`
+    /// instead of submitting to the pool.
+    ///
+    /// Semantics match a pool launch exactly: same per-block body calls in
+    /// dispatch order, same counters, same [`KernelMetrics`] shape (so
+    /// [`run_seconds`](crate::timing::run_seconds) prices it identically),
+    /// `is_sequential()` stays `false`, and blocks carry a pool handle so
+    /// parked flag waits hand the *driver's* token back mid-block. What
+    /// changes is purely host mechanics: no submit/wake/park round-trip,
+    /// and scratch allocations persist across the whole band sequence in
+    /// `arena` rather than dying at launch boundaries.
+    ///
+    /// # Panics
+    /// If this handle is bound to a stream (resident execution bypasses
+    /// stream ordering) or `threads_per_block` exceeds the device maximum.
+    pub fn launch_resident<F>(
+        &self,
+        lc: LaunchConfig,
+        arena: &mut ScratchArena,
+        body: F,
+    ) -> KernelMetrics
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        assert!(
+            self.bound.is_none(),
+            "launch_resident bypasses stream ordering; use an unbound handle"
+        );
+        assert!(
+            lc.threads_per_block <= self.cfg.max_threads_per_block,
+            "{} threads per block exceeds the device maximum {}",
+            lc.threads_per_block,
+            self.cfg.max_threads_per_block
+        );
+        if lc.blocks == 0 {
+            return KernelMetrics {
+                label: lc.label,
+                blocks: 0,
+                threads_per_block: lc.threads_per_block,
+                stats: BlockStats::default(),
+                critical_path: lc.critical_path,
+                ilp: lc.ilp,
+                host_seconds: 0.0,
+            };
+        }
+        let order = match self.dispatch {
+            DispatchOrder::InOrder => Vec::new(),
+            d => d.permutation(lc.blocks),
+        };
+        let tracer = self.tracer.as_deref();
+        // Blocks run one after another on this thread, so no other block
+        // of this launch can panic concurrently; the abort flag exists
+        // only to satisfy the worker-context contract and stays false.
+        let abort = AtomicBool::new(false);
+        let pool = Arc::clone(self.pool().shared());
+        let acc = KernelAccumulator::default();
+        let start = Instant::now();
+        for k in 0..lc.blocks {
+            let b = if order.is_empty() { k } else { order[k] };
+            let mut ctx = BlockCtx::for_worker(
+                b,
+                lc.threads_per_block,
+                &self.cfg,
+                tracer,
+                arena,
+                &abort,
+                Some(&pool),
+            );
+            ctx.trace(EventKind::BlockStart);
+            body(&mut ctx);
+            ctx.trace(EventKind::BlockEnd);
+            acc.absorb(&ctx.stats);
+        }
+        KernelMetrics {
+            label: lc.label,
+            blocks: lc.blocks,
+            threads_per_block: lc.threads_per_block,
+            stats: acc.snapshot(),
+            critical_path: lc.critical_path,
+            ilp: lc.ilp,
+            host_seconds: start.elapsed().as_secs_f64(),
+        }
     }
 
     fn launch_inner<F>(&self, lc: LaunchConfig, tracer: Option<&Tracer>, body: F) -> KernelMetrics

@@ -84,6 +84,13 @@ pub struct BlockStats {
     /// re-checked the flag on their own. Schedule noise, masked from
     /// `deterministic()` alongside `park_events`.
     pub wakeups: u64,
+    /// Worker-token handoffs: times a thread holding a pool execution
+    /// token gave it back for the duration of a blocking wait — a parked
+    /// flag wait engaging its `TokenGuard`, or a resident group driver
+    /// parking between jobs (`DriverPark`). Whether a wait parks at all is
+    /// host-scheduling noise, so this is masked from `deterministic()`
+    /// like `park_events`.
+    pub token_handoffs: u64,
 }
 
 /// The *accounting sink* (see `DESIGN.md`, "warp-transaction accounting
@@ -176,6 +183,7 @@ impl BlockStats {
         self.d2d_backoff_events += other.d2d_backoff_events;
         self.park_events += other.park_events;
         self.wakeups += other.wakeups;
+        self.token_handoffs += other.token_handoffs;
     }
 
     /// The deterministic part of the counters: everything except spin-loop
@@ -188,6 +196,7 @@ impl BlockStats {
         c.d2d_backoff_events = 0;
         c.park_events = 0;
         c.wakeups = 0;
+        c.token_handoffs = 0;
         c
     }
 
@@ -239,6 +248,7 @@ pub struct KernelAccumulator {
     d2d_backoff_events: AtomicU64,
     park_events: AtomicU64,
     wakeups: AtomicU64,
+    token_handoffs: AtomicU64,
 }
 
 impl KernelAccumulator {
@@ -270,6 +280,7 @@ impl KernelAccumulator {
             .fetch_add(s.d2d_backoff_events, Ordering::Relaxed);
         self.park_events.fetch_add(s.park_events, Ordering::Relaxed);
         self.wakeups.fetch_add(s.wakeups, Ordering::Relaxed);
+        self.token_handoffs.fetch_add(s.token_handoffs, Ordering::Relaxed);
     }
 
     /// Snapshot the totals.
@@ -295,6 +306,7 @@ impl KernelAccumulator {
             d2d_backoff_events: self.d2d_backoff_events.load(Ordering::Relaxed),
             park_events: self.park_events.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            token_handoffs: self.token_handoffs.load(Ordering::Relaxed),
         }
     }
 }
@@ -455,12 +467,14 @@ mod tests {
         a.d2d_backoff_events = 5;
         a.park_events = 7;
         a.wakeups = 4;
+        a.token_handoffs = 2;
         let mut b = stats(1, 1);
         b.flag_poll_iterations = 3;
         b.flag_backoff_events = 0;
         b.d2d_backoff_events = 0;
         b.park_events = 0;
         b.wakeups = 0;
+        b.token_handoffs = 0;
         assert_ne!(a, b);
         assert_eq!(a.deterministic(), b.deterministic());
     }

@@ -298,6 +298,36 @@ impl<T: DeviceElem> SharedTile<T> {
         }
     }
 
+    /// [`SharedTile::load_from_global_with_col_sums`], additionally writing
+    /// each row's sum into `row_sums` while the row is still cache-hot.
+    /// Charges exactly the unfused load-with-col-sums followed by
+    /// [`SharedTile::row_sums_into`], and the sums are accumulated in the
+    /// same order, so values and counters are bit-identical to the unfused
+    /// sequence.
+    pub fn load_from_global_with_sums(
+        &mut self,
+        ctx: &mut BlockCtx,
+        src: &GlobalBuffer<T>,
+        offset: usize,
+        stride: usize,
+        col_sums: &mut [T],
+        row_sums: &mut [T],
+    ) {
+        assert_eq!(col_sums.len(), self.w);
+        assert_eq!(row_sums.len(), self.w);
+        self.load_from_global(ctx, src, offset, stride);
+        Self::account(ctx, (self.w * self.w) as u64, self.col_conflict);
+        col_sums.fill(T::zero());
+        for (s, row) in row_sums.iter_mut().zip(self.data.chunks_exact(self.w)) {
+            simd::zip_add(col_sums, row);
+            let mut acc = T::zero();
+            for v in row {
+                acc = acc.add(*v);
+            }
+            *s = acc;
+        }
+    }
+
     /// Store the whole tile into a 2-D window of global memory, fused with
     /// the shared-memory read: charges exactly
     /// [`SharedTile::read_rows_into`] plus [`GlobalBuffer::store_2d`].
@@ -391,6 +421,35 @@ impl<T: DeviceElem> SharedTile<T> {
             let prev = &above[(i - 1) * w..];
             let cur = &mut below[..w];
             simd::zip_add(cur, &prev[..w]);
+        }
+    }
+
+    /// [`SharedTile::sat_in_place`] fused with
+    /// [`SharedTile::store_to_global`]: row `i`'s column accumulation is
+    /// finalized and the row written straight out to global memory before
+    /// row `i + 1` consumes it as its carry, saving a full pass over the
+    /// tile. Charges exactly the unfused SAT followed by the store, and
+    /// every add happens in the same order, so output values and counters
+    /// are bit-identical to the unfused sequence.
+    pub fn sat_store_to_global(&mut self, ctx: &mut BlockCtx, dst: &GlobalBuffer<T>, offset: usize, stride: usize) {
+        let elems = (self.w * (self.w - 1)) as u64;
+        Self::account(ctx, 2 * elems, self.col_conflict);
+        Self::account(ctx, 2 * elems, self.row_conflict);
+        Self::account_rows(ctx, self.w as u64, self.w as u64, self.row_conflict);
+        let w = self.w;
+        if w == 0 {
+            return;
+        }
+        let n = self.data.len() as u64;
+        ctx.stats.charge_global_write(n, n * T::BYTES);
+        Self::prefix_rows(&mut self.data, w);
+        for i in 0..w {
+            if i > 0 {
+                let (above, below) = self.data.split_at_mut(i * w);
+                let prev = &above[(i - 1) * w..];
+                simd::zip_add(&mut below[..w], &prev[..w]);
+            }
+            dst.store_row_raw(offset + i * stride, &self.data[i * w..(i + 1) * w]);
         }
     }
 

@@ -81,23 +81,6 @@ pub fn set_force_no_park(on: bool) {
     FORCE_NO_PARK.store(on, Ordering::SeqCst);
 }
 
-/// Upper bound of one timed park. Expiry re-checks the flag, the abort
-/// flag, and the deadlock budget, so no wait ever depends on a wake
-/// arriving — publications only make it prompt.
-const PARK_TIMEOUT: Duration = Duration::from_micros(200);
-
-/// Iterations one expired park charges against the deadlock limit: the
-/// timeout over the legacy ladder's 20 µs sleep, so a stuck parked wait
-/// reaches `DeviceConfig::deadlock_limit` after the same wall-clock time
-/// as a stuck sleeping one — the fast-fail budget is schedule-equivalent
-/// across both paths. The bound stays flat across cycles: stretching it
-/// for long waits (flat 2 ms for remote waits, or exponential backoff to
-/// 3.2 ms) was measured and lost — it delays nothing on the wake side,
-/// but the rarer expiry polls also re-check the abort flag and feed the
-/// re-park loop that keeps a handed-off token available promptly, and
-/// the measured cooperative sweeps came out flat-to-worse both times.
-const PARK_ITERS: u64 = 10;
-
 /// Waiter registries are striped `flag_index % stripes` so concurrent
 /// parks on different flags rarely contend on one lock.
 const MAX_STRIPES: usize = 64;
@@ -123,14 +106,18 @@ struct Stripe {
 /// Worker-token handoff for the parked phase of a wait: engaging returns
 /// the block's execution token to its pool so a standby thread can run
 /// other ready blocks; dropping (on satisfied wait, deadlock panic, or
-/// abort unwind alike) re-acquires in never-blocking debt mode. Blocks
-/// without a pool — sequential remote waits, the one-block inline fast
-/// path, group driver threads — park without a token to hand off.
+/// abort unwind alike) re-acquires in never-blocking debt mode. Blocks a
+/// resident group driver runs inline carry the driver's token and hand
+/// *that* off here; only blocks without a pool — sequential remote waits
+/// and the one-block inline fast path — park with no token to return.
+/// Each engagement charges one `token_handoffs` (schedule noise, masked
+/// from deterministic counters like `park_events`).
 struct TokenGuard(std::sync::Arc<crate::executor::PoolShared>);
 
 impl TokenGuard {
-    fn engage(ctx: &BlockCtx) -> Option<TokenGuard> {
+    fn engage(ctx: &mut BlockCtx) -> Option<TokenGuard> {
         ctx.pool_handle().map(|p| {
+            ctx.stats.token_handoffs += 1;
             p.park_begin();
             TokenGuard(p)
         })
@@ -290,7 +277,8 @@ impl StatusBoard {
             return;
         }
         ctx.stats.park_events += 1;
-        let (mut g, _) = stripe.wake.wait_timeout(g, PARK_TIMEOUT).unwrap();
+        let timeout = Duration::from_micros(ctx.config().park_cycle_us);
+        let (mut g, _) = stripe.wake.wait_timeout(g, timeout).unwrap();
         if !Self::deregister(stripe, &mut g, ticket) {
             // Our entry is gone: an eligible publication removed it and
             // woke us on purpose (not a timeout, not a spurious wake).
@@ -330,22 +318,23 @@ impl StatusBoard {
     /// monopolize host cores other launches (or other devices of a
     /// [`crate::group::DeviceGroup`]) need:
     ///
-    /// 1. a bounded hot spin (`SPIN_POLLS` polls of `spin_loop`) for the
-    ///    common case where the producer publishes within microseconds;
+    /// 1. a bounded hot spin (`DeviceConfig::hot_spin_polls` polls of
+    ///    `spin_loop`) for the common case where the producer publishes
+    ///    within microseconds;
     /// 2. exponential backoff: the pause between polls doubles from 1 to
-    ///    `MAX_PAUSE` `spin_loop` hints, trading poll latency for bus and
-    ///    core pressure;
+    ///    `DeviceConfig::backoff_max_pause` `spin_loop` hints, trading
+    ///    poll latency for bus and core pressure;
     /// 3. a **parked wait**: the thread registers in the board's waiter
     ///    registry, returns its pool execution token
     ///    ([`crate::executor::PoolShared::park_begin`]) so a standby
     ///    thread can run other ready blocks, and sleeps on a condvar
-    ///    until an eligible publication (or a `PARK_TIMEOUT` expiry that
-    ///    re-checks everything) wakes it. Zero CPU while blocked, prompt
-    ///    wake on publish.
+    ///    until an eligible publication (or a park-cycle expiry —
+    ///    `DeviceConfig::park_cycle_us` — that re-checks everything)
+    ///    wakes it. Zero CPU while blocked, prompt wake on publish.
     ///
     /// Under `GPU_SIM_NO_PARK=1` (or [`set_force_no_park`]) phase 3 is
-    /// the legacy ladder instead: `thread::yield_now()` to `SLEEP_POLLS`
-    /// polls, then 20 µs sleeps.
+    /// the legacy ladder instead: `thread::yield_now()` to
+    /// `DeviceConfig::sleep_after_polls` polls, then 20 µs sleeps.
     ///
     /// Every phase *transition* increments the `flag_backoff_events`
     /// counter, each timed park increments `park_events`, and each
@@ -371,12 +360,15 @@ impl StatusBoard {
     }
 
     fn wait_inner(&self, ctx: &mut BlockCtx, i: usize, min: u8, remote: bool) -> u8 {
-        /// Polls spent in the bounded hot-spin phase.
-        const SPIN_POLLS: u64 = 64;
-        /// Cap of the exponential pause, in `spin_loop` hints per poll.
-        const MAX_PAUSE: u32 = 512;
-        /// Poll count at which yielding escalates to sleeping.
-        const SLEEP_POLLS: u64 = 4096;
+        // Ladder thresholds are per-device tunables (`DeviceConfig`), read
+        // once before the loop: hot-spin length, exponential-pause cap,
+        // yield-to-sleep poll count, and the park-cycle period (whose
+        // deadlock-budget charge below keeps fast-fail wall-clock time
+        // equivalent to the legacy ladder's 20 µs sleeps).
+        let spin_polls = ctx.config().hot_spin_polls;
+        let max_pause = ctx.config().backoff_max_pause;
+        let sleep_polls = ctx.config().sleep_after_polls;
+        let park_iters = (ctx.config().park_cycle_us / 20).max(1);
 
         #[inline(always)]
         fn escalate(ctx: &mut BlockCtx, remote: bool) {
@@ -446,9 +438,9 @@ impl StatusBoard {
                     ctx.block_idx()
                 );
             }
-            if iters < SPIN_POLLS {
+            if iters < spin_polls {
                 std::hint::spin_loop();
-            } else if pause <= MAX_PAUSE {
+            } else if pause <= max_pause {
                 if pause == 1 {
                     escalate(ctx, remote); // hot spin -> backoff
                 }
@@ -456,7 +448,7 @@ impl StatusBoard {
                     std::hint::spin_loop();
                 }
                 pause <<= 1;
-                if pause > MAX_PAUSE {
+                if pause > max_pause {
                     escalate(ctx, remote); // backoff -> park (or yield)
                 }
             } else if parking {
@@ -476,11 +468,11 @@ impl StatusBoard {
                 // Charge the park against the deadlock budget at the
                 // legacy ladder's wall-clock rate (one iteration per
                 // 20 µs), so fast-fail takes the same time either way.
-                iters += PARK_ITERS - 1;
-            } else if iters < SLEEP_POLLS {
+                iters += park_iters - 1;
+            } else if iters < sleep_polls {
                 std::thread::yield_now();
             } else {
-                if iters == SLEEP_POLLS {
+                if iters == sleep_polls {
                     escalate(ctx, remote); // yield -> sleep
                 }
                 std::thread::sleep(Duration::from_micros(20));

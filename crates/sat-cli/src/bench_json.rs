@@ -464,6 +464,16 @@ struct HugePoint {
     steal_events: usize,
     d2d_transfers: u64,
     d2d_bytes: u64,
+    /// Timed condvar parks during the run (scheduling artifact — masked
+    /// from the deterministic counters, recorded so the document shows
+    /// how the host spent its blocked time).
+    park_events: u64,
+    /// Publisher-initiated wakes of those parks; the difference expired
+    /// on the park-cycle timeout.
+    wakeups: u64,
+    /// Worker-token handoffs: blocked waits and idle resident drivers
+    /// returning their execution token to the pool.
+    token_handoffs: u64,
     output_match: bool,
     counters_match: bool,
 }
@@ -565,6 +575,9 @@ fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
                     steal_events: gm.steal_events(),
                     d2d_transfers: gm.d2d_transfers(),
                     d2d_bytes: gm.d2d_bytes(),
+                    park_events: gm.park_events(),
+                    wakeups: gm.wakeups(),
+                    token_handoffs: gm.token_handoffs(),
                     output_match,
                     counters_match,
                 });
@@ -598,8 +611,8 @@ fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
     for point in &points {
         eprintln!(
             "huge  {:<13} n={:<6} {} device(s): modeled {:>9.3} ms \
-             ({:.2}x 1-device), {} D2D transfers / {} bytes, {} steals, wall {:.3}s \
-             (eff {:.2e})",
+             ({:.2}x 1-device), {} D2D transfers / {} bytes, {} steals, \
+             {} parks / {} wakes / {} handoffs, wall {:.3}s (eff {:.2e})",
             point.alg,
             point.n,
             point.devices,
@@ -608,6 +621,9 @@ fn run_huge(cfg: &Config, device: &DeviceConfig) -> Vec<HugePoint> {
             point.d2d_transfers,
             point.d2d_bytes,
             point.steal_events,
+            point.park_events,
+            point.wakeups,
+            point.token_handoffs,
             point.wall_secs,
             point.host_efficiency,
         );
@@ -861,7 +877,8 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
             doc.push_str(&format!(
                 "\n{{\"alg\":\"{}\",\"n\":{},\"devices\":{},\"modeled_secs\":{:.9},\
                  \"scaling\":{:.3},\"steal_events\":{},\"d2d_transfers\":{},\
-                 \"d2d_bytes\":{},\"wall_secs\":{:.6},\"host_efficiency\":{:.9},\
+                 \"d2d_bytes\":{},\"park_events\":{},\"wakeups\":{},\
+                 \"token_handoffs\":{},\"wall_secs\":{:.6},\"host_efficiency\":{:.9},\
                  \"output_match\":{},\"counters_match\":{}}}",
                 p.alg,
                 p.n,
@@ -871,6 +888,9 @@ pub fn run(cfg: &Config, device: &DeviceConfig) -> String {
                 p.steal_events,
                 p.d2d_transfers,
                 p.d2d_bytes,
+                p.park_events,
+                p.wakeups,
+                p.token_handoffs,
                 p.wall_secs,
                 p.host_efficiency,
                 p.output_match,
@@ -943,7 +963,17 @@ fn parse_results(doc: &str) -> Vec<DocEntry> {
 /// wall 6.32s against 4.18s at 2 devices) fails it, a parked-wait host
 /// passes it.
 ///
+/// With `--eff-floor R`, `host_efficiency` (modeled over wall seconds)
+/// gates as well: for every `(alg, n)` of the old document's huge sweep,
+/// the new document's *best* efficiency over device counts must be at
+/// least `R` times the old document's best. Best-vs-best rather than
+/// point-wise because the wall clock of an over-subscribed device count
+/// on a small host is scheduling noise, while the best point is the
+/// host-efficiency headline the persistent-grid work is accountable for.
+/// An `(alg, n)` missing from the new document fails, like `--wall-floor`.
+///
 /// Returns the human-readable report and whether anything regressed.
+#[allow(clippy::too_many_arguments)]
 pub fn compare(
     old_doc: &str,
     new_doc: &str,
@@ -951,6 +981,7 @@ pub fn compare(
     throughput_floor: Option<f64>,
     coop_floor: Option<f64>,
     wall_floor: Option<f64>,
+    eff_floor: Option<f64>,
 ) -> (String, bool) {
     let old = parse_results(old_doc);
     let new = parse_results(new_doc);
@@ -1081,6 +1112,52 @@ pub fn compare(
             ));
         }
     }
+    if let Some(ef) = eff_floor {
+        // Host-efficiency gate on the huge sweep: best new point per
+        // (alg, n) against the old document's best — see the function
+        // docs for why best-vs-best.
+        let old_pts = coop_eff_points(old_doc);
+        let new_pts = coop_eff_points(new_doc);
+        let mut keys: Vec<(String, usize)> =
+            old_pts.iter().map(|p| (p.0.clone(), p.1)).collect();
+        keys.sort();
+        keys.dedup();
+        if keys.is_empty() {
+            regression = true;
+            out.push_str(&format!(
+                "eff: no cooperative efficiency point in old document (floor {ef:.2}x)\n"
+            ));
+        }
+        for (alg, n) in keys {
+            let old_best = old_pts
+                .iter()
+                .filter(|p| p.0 == alg && p.1 == n)
+                .map(|p| p.3)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let Some(new_best) = new_pts
+                .iter()
+                .filter(|p| p.0 == alg && p.1 == n)
+                .max_by(|a, b| a.3.total_cmp(&b.3))
+            else {
+                regression = true;
+                out.push_str(&format!(
+                    "eff: {alg} n={n} MISSING from new document (floor {ef:.2}x)\n"
+                ));
+                continue;
+            };
+            let ratio = new_best.3 / old_best;
+            let slow = ratio < ef;
+            regression |= slow;
+            out.push_str(&format!(
+                "eff: {alg} n={n} best {:.3e} ({} devices) vs old best {:.3e}  \
+                 {ratio:.2}x (floor {ef:.2}x){}\n",
+                new_best.3,
+                new_best.2,
+                old_best,
+                if slow { "  REGRESSION" } else { "" }
+            ));
+        }
+    }
     out.push_str(&format!(
         "{compared}/{} points compared (floor {floor:.2}x): {}\n",
         old.len(),
@@ -1100,6 +1177,24 @@ fn coop_wall_points(doc: &str) -> Vec<(String, usize, usize, f64)> {
                 json_field(l, "n")?.parse().ok()?,
                 json_field(l, "devices")?.parse().ok()?,
                 json_field(l, "wall_secs")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// `(alg, n, devices, host_efficiency)` of every cooperative huge-sweep
+/// point of a document that recorded an efficiency (older documents
+/// without the field are simply absent, which `--eff-floor` reports as
+/// MISSING when they were expected).
+fn coop_eff_points(doc: &str) -> Vec<(String, usize, usize, f64)> {
+    doc.lines()
+        .filter(|l| json_field(l, "alg").is_some_and(|a| a.starts_with("coop_")))
+        .filter_map(|l| {
+            Some((
+                json_field(l, "alg")?.to_string(),
+                json_field(l, "n")?.parse().ok()?,
+                json_field(l, "devices")?.parse().ok()?,
+                json_field(l, "host_efficiency")?.parse().ok()?,
             ))
         })
         .collect()
@@ -1251,6 +1346,9 @@ mod tests {
         }
         assert!(doc.contains("\"output_match\":true"));
         assert!(doc.contains("\"host_efficiency\":"));
+        assert!(doc.contains("\"park_events\":"));
+        assert!(doc.contains("\"wakeups\":"));
+        assert!(doc.contains("\"token_handoffs\":"));
         assert!(doc.contains("\"all_counters_match\":true"));
         let scalings = coop_two_device_scalings(&doc);
         assert_eq!(scalings.len(), 1);
@@ -1275,7 +1373,7 @@ mod tests {
     fn compare_passes_identical_documents() {
         let doc = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0])
             + &doc_line("skss", 1024, "concurrent", 90.0, [11, 5, 44, 20, 0]);
-        let (report, regression) = compare(&doc, &doc, 0.9, None, None, None);
+        let (report, regression) = compare(&doc, &doc, 0.9, None, None, None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("2/2 points compared"));
     }
@@ -1284,11 +1382,11 @@ mod tests {
     fn compare_flags_throughput_below_floor() {
         let old = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
         let new = doc_line("skss", 1024, "sequential", 80.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &new, 0.9, None, None, None);
+        let (report, regression) = compare(&old, &new, 0.9, None, None, None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // The same slowdown passes a lower floor.
-        assert!(!compare(&old, &new, 0.75, None, None, None).1);
+        assert!(!compare(&old, &new, 0.75, None, None, None, None).1);
     }
 
     #[test]
@@ -1304,20 +1402,20 @@ mod tests {
         let old = tp_line(1.70) + &results;
         // A healthy speedup passes the floor; context shows old -> new.
         let good = tp_line(1.45) + &results;
-        let (report, regression) = compare(&old, &good, 0.9, Some(1.3), None, None);
+        let (report, regression) = compare(&old, &good, 0.9, Some(1.3), None, None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("1.70x -> 1.45x"), "{report}");
         // Below the floor fails, even if every sweep point is fine.
         let slow = tp_line(0.92) + &results;
-        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3), None, None);
+        let (report, regression) = compare(&old, &slow, 0.9, Some(1.3), None, None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A document missing the measurement entirely also fails...
-        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3), None, None);
+        let (report, regression) = compare(&old, &results.clone(), 0.9, Some(1.3), None, None, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
         // ...but only when the gate was requested.
-        assert!(!compare(&old, &results, 0.9, None, None, None).1);
+        assert!(!compare(&old, &results, 0.9, None, None, None, None).1);
     }
 
     #[test]
@@ -1332,20 +1430,20 @@ mod tests {
             )
         };
         let good = huge_line(1.87) + &results;
-        let (report, regression) = compare(&results, &good, 0.9, None, Some(1.5), None);
+        let (report, regression) = compare(&results, &good, 0.9, None, Some(1.5), None, None);
         assert!(!regression, "{report}");
         assert!(report.contains("1.87x (floor 1.50x)"), "{report}");
         // Below the floor fails.
         let slow = huge_line(1.21) + &results;
-        let (report, regression) = compare(&results, &slow, 0.9, None, Some(1.5), None);
+        let (report, regression) = compare(&results, &slow, 0.9, None, Some(1.5), None, None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A document with no cooperative point fails the gate...
-        let (report, regression) = compare(&results, &results.clone(), 0.9, None, Some(1.5), None);
+        let (report, regression) = compare(&results, &results.clone(), 0.9, None, Some(1.5), None, None);
         assert!(regression);
         assert!(report.contains("no 2-device cooperative point"), "{report}");
         // ...but only when the gate was requested.
-        assert!(!compare(&results, &results, 0.9, None, None, None).1);
+        assert!(!compare(&results, &results, 0.9, None, None, None, None).1);
     }
 
     #[test]
@@ -1366,25 +1464,65 @@ mod tests {
         let old = huge_line(2, 1.0) + &huge_line(4, 2.0) + &results;
         // New document whose widest (4-device) point beats the old best.
         let good = huge_line(2, 0.9) + &huge_line(4, 0.8) + &results;
-        let (report, regression) = compare(&old, &good, 0.9, None, None, Some(1.0));
+        let (report, regression) = compare(&old, &good, 0.9, None, None, Some(1.0), None);
         assert!(!regression, "{report}");
         assert!(report.contains("4 devices 0.800s vs old best 1.000s"), "{report}");
         // Widest point slower than the old best fails, even though it
         // beats the old document's own 4-device wall.
         let slow = huge_line(2, 0.9) + &huge_line(4, 1.5) + &results;
-        let (report, regression) = compare(&old, &slow, 0.9, None, None, Some(1.0));
+        let (report, regression) = compare(&old, &slow, 0.9, None, None, Some(1.0), None);
         assert!(regression);
         assert!(report.contains("REGRESSION"), "{report}");
         // A new document with no cooperative points fails the gate...
-        let (report, regression) = compare(&old, &results.clone(), 0.9, None, None, Some(1.0));
+        let (report, regression) = compare(&old, &results.clone(), 0.9, None, None, Some(1.0), None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
         // ...as does an old document with none (nothing to gate against).
-        let (report, regression) = compare(&results, &good, 0.9, None, None, Some(1.0));
+        let (report, regression) = compare(&results, &good, 0.9, None, None, Some(1.0), None);
         assert!(regression);
         assert!(report.contains("no cooperative point in old document"), "{report}");
         // Without the flag none of this is checked.
-        assert!(!compare(&old, &slow, 0.9, None, None, None).1);
+        assert!(!compare(&old, &slow, 0.9, None, None, None, None).1);
+    }
+
+    #[test]
+    fn compare_gates_cooperative_host_efficiency() {
+        let results = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
+        let huge_line = |alg: &str, devices: usize, eff: f64| {
+            format!(
+                "{{\"alg\":\"{alg}\",\"n\":16384,\"devices\":{devices},\
+                 \"modeled_secs\":0.010000000,\"scaling\":2.000,\"steal_events\":0,\
+                 \"d2d_transfers\":36,\"d2d_bytes\":4718592,\"park_events\":0,\
+                 \"wakeups\":0,\"token_handoffs\":0,\"wall_secs\":1.000000,\
+                 \"host_efficiency\":{eff:.9},\"output_match\":true,\
+                 \"counters_match\":true}}\n"
+            )
+        };
+        // Old best per (alg, n) is the max over device counts: 0.02.
+        let old = huge_line("coop_2r1w", 1, 0.02) + &huge_line("coop_2r1w", 2, 0.01) + &results;
+        // New best 0.035 at 1 device: 1.75x the old best — passes 1.5,
+        // fails 2.0. The 2-device point being *worse* than old must not
+        // matter (best-vs-best, not point-wise).
+        let new = huge_line("coop_2r1w", 1, 0.035) + &huge_line("coop_2r1w", 2, 0.005) + &results;
+        let (report, regression) = compare(&old, &new, 0.9, None, None, None, Some(1.5));
+        assert!(!regression, "{report}");
+        assert!(report.contains("1.75x (floor 1.50x)"), "{report}");
+        let (report, regression) = compare(&old, &new, 0.9, None, None, None, Some(2.0));
+        assert!(regression);
+        assert!(report.contains("REGRESSION"), "{report}");
+        // An (alg, n) present in the old huge sweep but absent from the
+        // new document fails the gate, like --wall-floor.
+        let (report, regression) =
+            compare(&old, &results.clone(), 0.9, None, None, None, Some(1.5));
+        assert!(regression);
+        assert!(report.contains("MISSING"), "{report}");
+        // An old document with no efficiency points also fails (nothing
+        // to gate against)...
+        let (report, regression) = compare(&results, &new, 0.9, None, None, None, Some(1.5));
+        assert!(regression);
+        assert!(report.contains("no cooperative efficiency point"), "{report}");
+        // ...but only when the gate was requested.
+        assert!(!compare(&old, &results, 0.9, None, None, None, None).1);
     }
 
     #[test]
@@ -1394,16 +1532,16 @@ mod tests {
         // Sequential read-count drift is a regression...
         let drift = doc_line("skss", 1024, "sequential", 100.0, [11, 5, 44, 20, 0])
             + &doc_line("2r1w", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &drift, 0.9, None, None, None);
+        let (report, regression) = compare(&old, &drift, 0.9, None, None, None, None);
         assert!(regression);
         assert!(report.contains("COUNTER DRIFT"), "{report}");
         // ...but concurrent read-side drift is schedule noise, not one.
         let old_c = doc_line("skss", 1024, "concurrent", 100.0, [10, 5, 40, 20, 0]);
         let new_c = doc_line("skss", 1024, "concurrent", 100.0, [13, 5, 52, 20, 0]);
-        assert!(!compare(&old_c, &new_c, 0.9, None, None, None).1);
+        assert!(!compare(&old_c, &new_c, 0.9, None, None, None, None).1);
         // A point that vanished from the new document is a regression.
         let shrunk = doc_line("skss", 1024, "sequential", 100.0, [10, 5, 40, 20, 0]);
-        let (report, regression) = compare(&old, &shrunk, 0.9, None, None, None);
+        let (report, regression) = compare(&old, &shrunk, 0.9, None, None, None, None);
         assert!(regression);
         assert!(report.contains("MISSING"), "{report}");
     }

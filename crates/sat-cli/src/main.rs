@@ -98,6 +98,9 @@ fn usage() -> &'static str {
                          [--wall-floor R: fail if the new document's widest cooperative\n\
                           point runs slower than R x the old document's best wall time\n\
                           for the same (alg, n) — adding devices must not cost host time]\n\
+                         [--eff-floor R: fail if the new document's best cooperative\n\
+                          host_efficiency over device counts is below R x the old\n\
+                          document's best for the same (alg, n); missing points fail]\n\
        all        every report above, in order"
 }
 
@@ -227,6 +230,8 @@ fn main() -> ExitCode {
                 .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --coop-floor: {v}")));
             let wall_floor = parse_opt(&args, "--wall-floor")
                 .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --wall-floor: {v}")));
+            let eff_floor = parse_opt(&args, "--eff-floor")
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --eff-floor: {v}")));
             let (report, regression) = bench_json::compare(
                 &read(old_path),
                 &read(new_path),
@@ -234,6 +239,7 @@ fn main() -> ExitCode {
                 tp_floor,
                 coop_floor,
                 wall_floor,
+                eff_floor,
             );
             print!("{report}");
             if regression {

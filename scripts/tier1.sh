@@ -103,3 +103,33 @@ GPU_SIM_NO_PARK=1 cargo test --release -q --test counter_parity
 # BENCH_7 too.
 ./target/release/sat-cli bench-compare BENCH_6.json BENCH_7.json --coop-floor 1.5 \
   --wall-floor 0.9
+
+# The scheduling-parity suite with persistent resident drivers disabled
+# (GPU_SIM_NO_PERSISTENT=1 forces the per-band-launch path everywhere),
+# alongside the usual counter parity. Resident execution must be a pure
+# host-scheduling change: tests/scheduling_parity.rs asserts in-process
+# that the persistent and per-band paths charge bit-identical
+# deterministic counters; this run proves the whole suite also passes
+# with the kill switch thrown, so a revert-by-env-var is always safe.
+GPU_SIM_NO_PERSISTENT=1 cargo test --release -q --test counter_parity \
+  --test scheduling_parity
+
+# Host wall-clock + host-efficiency floors across the persistent-grid PR:
+# BENCH_8 (resident lane drivers, event-driven steal waits, fused
+# tile-load/store kernels) against BENCH_7. --wall-floor 1.0: for every
+# cooperative (alg, n) the widest BENCH_8 point must be at least as fast
+# on the host as the best BENCH_7 point at any device count. --eff-floor
+# gates the tentpole claim: best host_efficiency over device counts per
+# (alg, n) must hold the ratio against BENCH_7's best. The floor is 1.4,
+# not the 3x ROADMAP item 2 hoped for: host_efficiency divides modeled
+# device time by host wall, and the best points' walls are within ~2x of
+# the recording box's DRAM floor — tripling them is physically off the
+# table (EXPERIMENTS.md, "Persistent cooperative grids" has the
+# arithmetic). Measured best-vs-best ratios are 1.77-2.18x in the
+# committed record and dipped to 1.68x across repeat recordings, so 1.4
+# sits >=20% under the worst observed ratio. Recording command
+# (identical flags to BENCH_7), for re-baselining:
+#   ./target/release/sat-cli bench-json --huge 16384,32768 --devices 1,2,4 \
+#     --repeat 4 --out BENCH_8.json
+./target/release/sat-cli bench-compare BENCH_7.json BENCH_8.json --coop-floor 1.5 \
+  --wall-floor 1.0 --eff-floor 1.4

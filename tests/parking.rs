@@ -137,6 +137,95 @@ fn token_handoff_lets_one_worker_run_dependent_blocks() {
     assert_eq!(km.stats.flag_publishes, 1);
 }
 
+/// Synthetic run record whose only purpose is to advance a lane's
+/// simulated clock by a controlled amount: `bytes` of charged global
+/// reads model to proportional device time in `run_seconds`.
+fn synthetic_run(bytes: u64) -> RunMetrics {
+    let mut stats = BlockStats::default();
+    stats.charge_global_read(bytes / 4, bytes);
+    let mut rm = RunMetrics::default();
+    rm.push(KernelMetrics {
+        label: "synthetic".into(),
+        blocks: 1,
+        threads_per_block: 32,
+        stats,
+        critical_path: CriticalPath::NONE,
+        ilp: 1,
+        host_seconds: 0.0,
+    });
+    rm
+}
+
+/// The resident lane driver's token handoff: a driver blocked in
+/// `drive_lane` waiting for steal eligibility must hand its worker token
+/// back to its device pool, or a single-worker device wedges any pool
+/// launch submitted while it waits.
+///
+/// The constructed deadlock cycle (broken only by the handoff): device
+/// 0's driver finishes its one huge job, its simulated clock is far ahead
+/// of lane 1 so it cannot steal, and it blocks on the progress condvar
+/// holding — without the handoff — device 0's only worker token. Lane 1's
+/// job then submits a pool launch *on device 0*: the launch needs the
+/// token, the driver releases it only when the batch progresses, and the
+/// batch progresses only when lane 1's job (blocked in the launch)
+/// completes. With the handoff the parked driver's token runs the launch
+/// and the batch drains.
+#[test]
+fn blocked_resident_driver_hands_off_its_worker_token() {
+    let _serial = PARK_SWITCH.lock().unwrap();
+    let mut cfg = DeviceConfig::tiny();
+    cfg.host_workers = 1;
+    // No for_group_member split: each device keeps exactly one worker.
+    let group = std::sync::Arc::new(DeviceGroup::with_member_config(cfg, 2));
+    let cross_ran = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let lane0_drained = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let g = std::sync::Arc::clone(&group);
+    let flag = std::sync::Arc::clone(&cross_ran);
+    let drained = std::sync::Arc::clone(&lane0_drained);
+    std::thread::spawn(move || {
+        // Three jobs over two devices shard as [j0], [j1, j2].
+        let gm = g.run_batch_resident(vec![0usize, 1, 2], StealPolicy::StealOnIdle, |_gpu, _arena, j| {
+            match j {
+                // Lane 0's whole shard: instant on the host, enormous in
+                // simulated time, so lane 0 is steal-ineligible afterwards
+                // and its driver blocks in drive_lane until the batch ends.
+                0 => {
+                    drained.store(true, std::sync::atomic::Ordering::SeqCst);
+                    synthetic_run(1 << 36)
+                }
+                1 => {
+                    // Wait for lane 0's shard to drain, then give its
+                    // driver a beat to reach the blocked wait.
+                    while !drained.load(std::sync::atomic::Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                    let km = g.device(0).launch(LaunchConfig::new("cross-device", 2, 32), |_ctx| {});
+                    assert_eq!(km.blocks, 2);
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                    synthetic_run(1 << 12)
+                }
+                _ => synthetic_run(1 << 12),
+            }
+        });
+        let _ = tx.send(gm);
+    });
+
+    let gm = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("batch wedged: blocked driver did not hand off its worker token");
+    assert!(cross_ran.load(std::sync::atomic::Ordering::SeqCst), "cross-device launch never ran");
+    assert_eq!(gm.total_jobs(), 3, "lost or duplicated jobs");
+    assert!(
+        gm.token_handoffs() >= 1,
+        "driver never recorded a token handoff: {:?} parks / {:?} handoffs",
+        gm.park_events(),
+        gm.token_handoffs()
+    );
+}
+
 /// The kill-switch parity the tier-1 gate runs in both directions: a
 /// flag-chained pipeline charges bit-identical deterministic counters
 /// whether its waits parked or spun, and the spinning run records no park
